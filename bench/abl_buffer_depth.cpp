@@ -1,0 +1,46 @@
+// Ablation A3: per-VC flit buffer depth. The paper lists buffer length among
+// the simulator parameters without reporting a sweep; this bench fills that
+// gap and shows the latency/saturation sensitivity to buffering.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/harness/sweep.hpp"
+
+using namespace swft;
+
+namespace {
+
+std::vector<SweepPoint> buildAblation() {
+  std::vector<SweepPoint> points;
+  for (const int depth : {1, 2, 4, 8, 16}) {
+    for (const double rate : rateGrid(0.014, 4)) {
+      SweepPoint p;
+      SimConfig& cfg = p.cfg;
+      cfg.radix = 8;
+      cfg.dims = 2;
+      cfg.vcs = 4;
+      cfg.bufferDepth = depth;
+      cfg.messageLength = 32;
+      cfg.injectionRate = rate;
+      cfg.routing = RoutingMode::Deterministic;
+      cfg.faults.randomNodes = 3;
+      cfg.seed = 8000;
+      bench::applyEnvScale(cfg);
+      cfg.maxCycles = 300'000;
+      char label[64];
+      std::snprintf(label, sizeof label, "B%d/l%.4f", depth, rate);
+      p.label = label;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto store = bench::registerSweep("abl_buffer_depth", buildAblation());
+  return bench::benchMain(argc, argv, "abl_buffer_depth", store,
+                          {"latency", "throughput", "saturated"},
+                          "ablation: per-VC flit buffer depth");
+}

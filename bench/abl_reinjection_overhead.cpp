@@ -1,0 +1,48 @@
+// Ablation A2: software re-injection overhead Delta (paper assumption (i)).
+// The paper sets Delta = 0 ("negligible compared to the channel cycle
+// time"); this bench quantifies how much latency a real messaging-layer
+// delay would add under faults, validating that assumption's impact.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/harness/sweep.hpp"
+
+using namespace swft;
+
+namespace {
+
+std::vector<SweepPoint> buildAblation() {
+  std::vector<SweepPoint> points;
+  for (const RoutingMode mode : {RoutingMode::Deterministic, RoutingMode::Adaptive}) {
+    for (const int delta : {0, 8, 16, 32, 64, 128}) {
+      SweepPoint p;
+      SimConfig& cfg = p.cfg;
+      cfg.radix = 8;
+      cfg.dims = 2;
+      cfg.vcs = 6;
+      cfg.messageLength = 32;
+      cfg.injectionRate = 0.006;
+      cfg.routing = mode;
+      cfg.reinjectDelay = delta;
+      cfg.faults.randomNodes = 5;
+      cfg.seed = 7000;
+      bench::applyEnvScale(cfg);
+      cfg.maxCycles = 300'000;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s/delta%d",
+                    mode == RoutingMode::Adaptive ? "adp" : "det", delta);
+      p.label = label;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto store = bench::registerSweep("abl_reinjection_overhead", buildAblation());
+  return bench::benchMain(argc, argv, "abl_reinjection_overhead", store,
+                          {"latency", "queued", "throughput"},
+                          "ablation: software re-injection overhead Delta");
+}

@@ -1,0 +1,51 @@
+// Ablation A1: size of the Duato escape pool (2 vs 4 escape VCs of V=6/10)
+// under random faults. More escape bandwidth helps downgraded (deterministic)
+// messages after absorption, at the cost of adaptive flexibility.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "src/harness/sweep.hpp"
+
+using namespace swft;
+
+namespace {
+
+std::vector<SweepPoint> buildAblation() {
+  std::vector<SweepPoint> points;
+  for (const int vcs : {6, 10}) {
+    for (const int escape : {2, 4}) {
+      for (const int nf : {0, 5}) {
+        for (const double rate : rateGrid(0.016, 4)) {
+          SweepPoint p;
+          SimConfig& cfg = p.cfg;
+          cfg.radix = 8;
+          cfg.dims = 2;
+          cfg.vcs = vcs;
+          cfg.escapeVcs = escape;
+          cfg.messageLength = 32;
+          cfg.injectionRate = rate;
+          cfg.routing = RoutingMode::Adaptive;
+          cfg.faults.randomNodes = nf;
+          cfg.seed = 6000 + static_cast<std::uint64_t>(nf);
+          bench::applyEnvScale(cfg);
+          cfg.maxCycles = 300'000;
+          char label[64];
+          std::snprintf(label, sizeof label, "V%d/esc%d/nf%d/l%.4f", vcs, escape, nf,
+                        rate);
+          p.label = label;
+          points.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto store = bench::registerSweep("abl_vc_partition", buildAblation());
+  return bench::benchMain(argc, argv, "abl_vc_partition", store,
+                          {"latency", "throughput", "queued"},
+                          "ablation: Duato escape-pool size under faults");
+}

@@ -1,0 +1,113 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Each bench binary registers one google-benchmark entry per sweep point
+// (Iterations(1): a simulation is a fixed experiment, not a microbenchmark),
+// exports the headline statistics as benchmark counters, and after the run
+// prints a paper-style table and writes a CSV into the results directory.
+//
+// Scale: SWFT_SCALE=paper reproduces the paper's 100k-message runs; the
+// default reduced scale preserves curve shapes at ~1/10 the cost.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/harness/table.hpp"
+#include "src/sim/network.hpp"
+
+namespace swft::bench {
+
+/// Collects finished rows across benchmark invocations (gbench may shuffle
+/// or repeat; we keep the registration order via fixed indices).
+class RowStore {
+ public:
+  explicit RowStore(std::size_t n) : rows_(n), done_(n, false) {}
+
+  void put(std::size_t i, SweepRow row) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    rows_[i] = std::move(row);
+    done_[i] = true;
+  }
+
+  [[nodiscard]] std::vector<SweepRow> finished() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SweepRow> out;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (done_[i]) out.push_back(rows_[i]);
+    }
+    return out;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SweepRow> rows_;
+  std::vector<bool> done_;
+};
+
+inline void applyEnvScale(SimConfig& cfg) { applyScale(cfg, scaleFromEnv()); }
+
+/// Register every sweep point as a google-benchmark entry named
+/// `<figure>/<label>` and wire the result counters.
+inline std::shared_ptr<RowStore> registerSweep(const std::string& figure,
+                                               std::vector<SweepPoint> points) {
+  auto store = std::make_shared<RowStore>(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint point = points[i];
+    benchmark::RegisterBenchmark(
+        (figure + "/" + point.label).c_str(),
+        [store, point, i](benchmark::State& state) {
+          SimResult result;
+          for (auto _ : state) {
+            result = runSimulation(point.cfg);
+          }
+          state.counters["latency"] = result.meanLatency;
+          state.counters["throughput"] = result.throughput;
+          state.counters["queued"] = static_cast<double>(result.messagesQueued);
+          state.counters["hops"] = result.meanHops;
+          state.counters["saturated"] = result.saturated ? 1 : 0;
+          if (result.deadlockSuspected) {
+            state.SkipWithError("deadlock watchdog fired");
+          }
+          SweepRow row;
+          row.point = point;
+          row.result = result;
+          store->put(i, std::move(row));
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  return store;
+}
+
+/// Run gbench, then emit the paper-style table and the CSV artifact.
+inline int benchMain(int argc, char** argv, const std::string& figure,
+                     const std::shared_ptr<RowStore>& store,
+                     const std::vector<std::string>& columns,
+                     const std::string& caption) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const auto rows = store->finished();
+  std::cout << "\n=== " << figure << ": " << caption << " ===\n";
+  std::cout << formatTable(rows, columns);
+  const std::string csvPath = resultsDir() + "/" + figure + ".csv";
+  toCsv(rows).writeFile(csvPath);
+  std::cout << "wrote " << csvPath << " (" << rows.size() << " rows)\n";
+  return 0;
+}
+
+/// Shorthand for a fixed-duration run (Fig. 6/7 protocol): the run length is
+/// bounded by cycles, not by a delivered-message target.
+inline void makeFixedDuration(SimConfig& cfg, std::uint64_t cycles) {
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = ~std::uint32_t{0};
+  cfg.maxCycles = cycles;
+}
+
+}  // namespace swft::bench

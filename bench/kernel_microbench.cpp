@@ -1,0 +1,108 @@
+// Kernel microbenchmarks: per-cycle engine cost, topology arithmetic, RNG
+// throughput, CDG construction. These are true microbenchmarks (adaptive
+// iteration counts), used to track simulator performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "src/sim/network.hpp"
+#include "src/verify/cdg.hpp"
+
+using namespace swft;
+
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngGeometric(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.geometric(0.01));
+}
+BENCHMARK(BM_RngGeometric);
+
+void BM_TopoCoordsRoundTrip(benchmark::State& state) {
+  const TorusTopology topo(8, static_cast<int>(state.range(0)));
+  NodeId id = 0;
+  for (auto _ : state) {
+    const Coordinates c = topo.coordsOf(id);
+    benchmark::DoNotOptimize(topo.idOf(c));
+    id = (id + 97) % topo.nodeCount();
+  }
+}
+BENCHMARK(BM_TopoCoordsRoundTrip)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_TopoNeighbor(benchmark::State& state) {
+  const TorusTopology topo(8, 3);
+  NodeId id = 0;
+  int port = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.neighbor(id, port));
+    port = (port + 1) % topo.networkPorts();
+    id = (id + 31) % topo.nodeCount();
+  }
+}
+BENCHMARK(BM_TopoNeighbor);
+
+void BM_EngineCyclesPerSecond(benchmark::State& state) {
+  // Steady-state stepping cost of a loaded 8-ary n-cube.
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = static_cast<int>(state.range(0));
+  cfg.vcs = 4;
+  cfg.messageLength = 32;
+  cfg.injectionRate = 0.004;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = ~std::uint32_t{0};
+  Network net(cfg);
+  net.step(2000);  // warm the network to steady state
+  for (auto _ : state) {
+    net.step(100);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_EngineCyclesPerSecond)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+void BM_EngineSaturated(benchmark::State& state) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 10;
+  cfg.messageLength = 32;
+  cfg.injectionRate = 0.05;  // deep saturation: worst-case per-cycle cost
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = ~std::uint32_t{0};
+  Network net(cfg);
+  net.step(5000);
+  for (auto _ : state) {
+    net.step(100);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_EngineSaturated)->Unit(benchmark::kMicrosecond);
+
+void BM_CdgBuild(benchmark::State& state) {
+  const TorusTopology topo(static_cast<int>(state.range(0)), 2);
+  const FaultSet faults(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buildEcubeCdg(topo, faults, true).hasCycle());
+  }
+}
+BENCHMARK(BM_CdgBuild)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_SoftwareLayerTables(benchmark::State& state) {
+  const TorusTopology topo(8, 3);
+  FaultSet faults(topo);
+  Rng rng(1);
+  applyRandomNodeFaults(faults, 12, rng);
+  for (auto _ : state) {
+    const SoftwareLayer layer(topo, faults, 96);
+    benchmark::DoNotOptimize(layer.tables(0).healthyLinkMask);
+  }
+}
+BENCHMARK(BM_SoftwareLayerTables)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

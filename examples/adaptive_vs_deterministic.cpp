@@ -1,0 +1,44 @@
+// Head-to-head: deterministic vs adaptive Software-Based routing as load
+// rises, fault-free and with 5 random faults — a miniature of the paper's
+// central comparison (Figs. 3, 5, 6, 7) on a single page of output.
+#include <cstdio>
+
+#include "src/harness/sweep.hpp"
+#include "src/harness/table.hpp"
+
+using namespace swft;
+
+int main() {
+  std::vector<SweepPoint> points;
+  for (const int nf : {0, 5}) {
+    for (const RoutingMode mode : {RoutingMode::Deterministic, RoutingMode::Adaptive}) {
+      for (const double rate : rateGrid(0.012, 4)) {
+        SweepPoint p;
+        char label[64];
+        std::snprintf(label, sizeof label, "nf%d %s l=%.3f", nf,
+                      mode == RoutingMode::Adaptive ? "adp" : "det", rate);
+        p.label = label;
+        p.cfg.radix = 8;
+        p.cfg.dims = 2;
+        p.cfg.vcs = 6;
+        p.cfg.messageLength = 32;
+        p.cfg.injectionRate = rate;
+        p.cfg.routing = mode;
+        p.cfg.faults.randomNodes = nf;
+        p.cfg.warmupMessages = 400;
+        p.cfg.measuredMessages = 3000;
+        p.cfg.maxCycles = 400'000;
+        p.cfg.seed = 31;
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  std::printf("Deterministic vs adaptive SW-Based routing, 8-ary 2-cube, M=32, V=6\n\n");
+  const auto rows = runSweep(points);
+  std::printf("%s\n", formatTable(rows, {"latency", "throughput", "queued"}).c_str());
+  std::printf("Expected shape (paper): adaptive saturates later, and under faults\n"
+              "it queues far fewer messages because it only absorbs when ALL\n"
+              "profitable channels are faulty.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Dimension scaling: the paper's contribution is extending Software-Based
+// routing beyond 2-D. This example runs the same workload on k-ary n-cubes
+// for n = 2..4 (with comparable node counts) and shows that fault tolerance
+// and deadlock freedom hold in every dimensionality.
+#include <cstdio>
+
+#include "src/harness/sweep.hpp"
+#include "src/harness/table.hpp"
+
+using namespace swft;
+
+int main() {
+  struct Shape {
+    int k, n, nf;
+  };
+  // ~64..256 nodes per topology, fault count scaled with network size.
+  const Shape shapes[] = {{8, 2, 4}, {4, 3, 4}, {6, 3, 8}, {4, 4, 8}, {3, 5, 8}};
+
+  std::vector<SweepPoint> points;
+  for (const RoutingMode mode : {RoutingMode::Deterministic, RoutingMode::Adaptive}) {
+    for (const Shape& s : shapes) {
+      SweepPoint p;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s %d-ary %d-cube nf=%d",
+                    mode == RoutingMode::Adaptive ? "adp" : "det", s.k, s.n, s.nf);
+      p.label = label;
+      p.cfg.radix = s.k;
+      p.cfg.dims = s.n;
+      p.cfg.vcs = 6;
+      p.cfg.messageLength = 16;
+      p.cfg.injectionRate = 0.004;
+      p.cfg.routing = mode;
+      p.cfg.faults.randomNodes = s.nf;
+      p.cfg.warmupMessages = 400;
+      p.cfg.measuredMessages = 3000;
+      p.cfg.seed = 23;
+      points.push_back(std::move(p));
+    }
+  }
+
+  std::printf("SW-Based-nD across dimensionality (M=16, V=6, lambda=0.004)\n\n");
+  const auto rows = runSweep(points);
+  std::printf("%s\n",
+              formatTable(rows, {"latency", "hops", "queued", "escalations"}).c_str());
+
+  for (const auto& row : rows) {
+    if (row.result.deadlockSuspected || !row.result.completed) {
+      std::printf("FAILURE at %s\n", row.point.label.c_str());
+      return 1;
+    }
+  }
+  std::printf("All dimensionalities delivered every measured message; the\n"
+              "dimension-pair extension (paper Fig. 2) handled every fault.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fault-region study: place each of the paper's coalesced fault-region
+// shapes (Fig. 1 / Fig. 5) in an 8-ary 2-cube and compare how hard it is to
+// route around them: latency, absorption counts, reversal/detour mix.
+//
+// Usage: fault_region_study [lambda]   (default 0.006 messages/node/cycle)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/harness/heatmap.hpp"
+#include "src/harness/sweep.hpp"
+#include "src/harness/table.hpp"
+
+using namespace swft;
+
+int main(int argc, char** argv) {
+  const double rate = argc > 1 ? std::atof(argv[1]) : 0.006;
+  const TorusTopology topo(8, 2);
+
+  struct Entry {
+    const char* name;
+    RegionSpec spec;
+  };
+  const Entry entries[] = {
+      {"rect-20 (convex)", fig5Rect20(topo)}, {"plus-16 (concave)", fig5Plus16(topo)},
+      {"T-10   (concave)", fig5T10(topo)},    {"L-9    (concave)", fig5L9(topo)},
+      {"U-8    (concave)", fig5U8(topo)},
+  };
+
+  std::vector<SweepPoint> points;
+  for (const RoutingMode mode : {RoutingMode::Deterministic, RoutingMode::Adaptive}) {
+    for (const Entry& e : entries) {
+      SweepPoint p;
+      p.label = std::string(mode == RoutingMode::Adaptive ? "adp " : "det ") + e.name;
+      p.cfg.radix = 8;
+      p.cfg.dims = 2;
+      p.cfg.vcs = 10;
+      p.cfg.messageLength = 32;
+      p.cfg.injectionRate = rate;
+      p.cfg.routing = mode;
+      p.cfg.faults.regions.push_back(e.spec);
+      p.cfg.warmupMessages = 500;
+      p.cfg.measuredMessages = 4000;
+      p.cfg.seed = 11;
+      points.push_back(std::move(p));
+    }
+  }
+
+  std::printf("Fault-region study: 8-ary 2-cube, M=32, V=10, lambda=%.4f\n\n", rate);
+  const auto rows = runSweep(points);
+  std::printf("%s\n", formatTable(rows, {"latency", "queued", "absorbed", "reversals",
+                                         "detours", "hops"})
+                          .c_str());
+  std::printf("Reading guide: concave shapes (U/T/plus) absorb the same message\n"
+              "repeatedly while it feels its way around the pocket, so 'queued'\n"
+              "exceeds 'absorbed' by more than for the convex block.\n\n");
+
+  // Where does the software load land? Re-run the U pocket under
+  // deterministic routing and draw the absorption heat map ('#' = faulty,
+  // digits = log2 absorption intensity at that node's messaging layer).
+  {
+    SimConfig cfg;
+    cfg.radix = 8;
+    cfg.dims = 2;
+    cfg.vcs = 10;
+    cfg.messageLength = 32;
+    cfg.injectionRate = rate;
+    cfg.faults.regions.push_back(fig5U8(topo));
+    cfg.warmupMessages = 500;
+    cfg.measuredMessages = 4000;
+    cfg.seed = 11;
+    Network net(cfg);
+    net.run();
+    std::printf("U-region absorption heat map (deterministic):\n%s",
+                renderAbsorptionHeatmap(net).c_str());
+  }
+
+  for (const auto& row : rows) {
+    if (row.result.deadlockSuspected || !row.result.completed) return 1;
+  }
+  return 0;
+}

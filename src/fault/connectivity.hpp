@@ -1,0 +1,19 @@
+// Connectivity guard: the paper assumes faults never disconnect the network
+// (assumption (h)). These helpers verify that assumption for generated fault
+// patterns and are reused by the tests as a structural invariant.
+#pragma once
+
+#include "src/fault/fault_set.hpp"
+
+namespace swft {
+
+/// True iff all healthy nodes form one connected component over healthy links.
+[[nodiscard]] bool healthyNetworkConnected(const FaultSet& faults);
+
+/// Number of connected components among healthy nodes (0 if none healthy).
+[[nodiscard]] int healthyComponentCount(const FaultSet& faults);
+
+/// Size of the component containing `start` (must be healthy).
+[[nodiscard]] std::size_t componentSize(const FaultSet& faults, NodeId start);
+
+}  // namespace swft

@@ -1,0 +1,58 @@
+// Static fault model (paper §3).
+//
+// Node faults mark the PE+router pair dead: every physical link and virtual
+// channel incident on the node is also faulty as seen from adjacent routers.
+// Link faults are supported directly as well, although the paper models a
+// link failure as the failure of its two endpoint nodes (§5.2); both styles
+// are available and tested.
+#pragma once
+
+#include <vector>
+
+#include "src/topology/torus.hpp"
+
+namespace swft {
+
+class FaultSet {
+ public:
+  explicit FaultSet(const TorusTopology& topo);
+
+  /// Mark a node (and all incident links) faulty.
+  void failNode(NodeId id);
+  /// Mark a single bidirectional link faulty (both directions).
+  void failLink(NodeId id, int dim, Dir dir);
+
+  [[nodiscard]] bool nodeFaulty(NodeId id) const noexcept {
+    return nodeFaulty_[id] != 0;
+  }
+  /// True iff sending from `id` across network port `port` is impossible:
+  /// the link is faulty, the neighbour is faulty, or `id` itself is faulty.
+  [[nodiscard]] bool linkFaulty(NodeId id, int port) const noexcept {
+    return linkFaulty_[linkIndex(id, port)] != 0;
+  }
+  [[nodiscard]] bool linkFaulty(NodeId id, int dim, Dir dir) const noexcept {
+    return linkFaulty(id, portOf(dim, dir));
+  }
+
+  [[nodiscard]] int faultyNodeCount() const noexcept { return faultyNodes_; }
+  [[nodiscard]] std::vector<NodeId> faultyNodes() const;
+  [[nodiscard]] std::vector<NodeId> healthyNodes() const;
+
+  /// Number of healthy (usable) outgoing network links of `id`.
+  [[nodiscard]] int healthyDegree(NodeId id) const noexcept;
+
+  [[nodiscard]] const TorusTopology& topology() const noexcept { return *topo_; }
+
+ private:
+  [[nodiscard]] std::size_t linkIndex(NodeId id, int port) const noexcept {
+    return static_cast<std::size_t>(id) * static_cast<std::size_t>(topo_->networkPorts()) +
+           static_cast<std::size_t>(port);
+  }
+
+  const TorusTopology* topo_;
+  std::vector<std::uint8_t> nodeFaulty_;
+  std::vector<std::uint8_t> linkFaulty_;
+  int faultyNodes_ = 0;
+};
+
+}  // namespace swft

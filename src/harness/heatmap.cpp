@@ -1,0 +1,66 @@
+#include "src/harness/heatmap.hpp"
+
+#include <algorithm>
+
+namespace swft {
+
+namespace {
+
+Coordinates planeAnchor(const TorusTopology& topo, const Coordinates* anchor) {
+  if (anchor != nullptr) return *anchor;
+  Coordinates c;
+  c.digit.resize(static_cast<std::size_t>(topo.dims()));
+  for (int d = 0; d < topo.dims(); ++d) c[d] = 0;
+  return c;
+}
+
+template <typename CellFn>
+std::string renderPlane(const TorusTopology& topo, int dim0, int dim1,
+                        const Coordinates* anchor, CellFn&& cell) {
+  Coordinates c = planeAnchor(topo, anchor);
+  std::string out;
+  // Row y printed top-down so the origin sits at the bottom-left.
+  for (int y = topo.radix() - 1; y >= 0; --y) {
+    c[dim1] = static_cast<std::int16_t>(y);
+    for (int x = 0; x < topo.radix(); ++x) {
+      c[dim0] = static_cast<std::int16_t>(x);
+      out += cell(topo.idOf(c));
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string renderFaultMap(const TorusTopology& topo, const FaultSet& faults, int dim0,
+                           int dim1, const Coordinates* anchor) {
+  return renderPlane(topo, dim0, dim1, anchor, [&](NodeId id) -> char {
+    return faults.nodeFaulty(id) ? '#' : '.';
+  });
+}
+
+std::string renderAbsorptionHeatmap(const Network& net, int dim0, int dim1,
+                                    const Coordinates* anchor) {
+  const TorusTopology& topo = net.topology();
+  const SoftwareLayer& sw = net.softwareLayer();
+
+  std::uint64_t peak = 0;
+  for (NodeId id = 0; id < topo.nodeCount(); ++id) {
+    peak = std::max(peak, sw.absorptionsAt(id));
+  }
+
+  return renderPlane(topo, dim0, dim1, anchor, [&](NodeId id) -> char {
+    if (net.faults().nodeFaulty(id)) return '#';
+    const std::uint64_t count = sw.absorptionsAt(id);
+    if (count == 0) return '.';
+    // Log2 scale from 1..peak mapped onto '1'..'9'.
+    int level = 1;
+    for (std::uint64_t v = count; v > 1 && level < 9; v >>= 1) ++level;
+    (void)peak;
+    return static_cast<char>('0' + level);
+  });
+}
+
+}  // namespace swft

@@ -1,0 +1,24 @@
+// ASCII visualisation of 2-D torus planes: fault maps and per-node
+// software-absorption heat maps. Diagnostic aid for examples and debugging
+// (which messaging layers carry the re-routing load around a region?).
+#pragma once
+
+#include <string>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+
+/// Render one 2-D plane (dims `dim0` x `dim1`, other coordinates fixed at
+/// `anchor`). Faulty nodes print '#', healthy nodes print a log-scaled
+/// absorption intensity: '.' none, then '1'..'9' by powers of two.
+[[nodiscard]] std::string renderAbsorptionHeatmap(const Network& net, int dim0 = 0,
+                                                  int dim1 = 1,
+                                                  const Coordinates* anchor = nullptr);
+
+/// Render only the fault pattern of the plane ('#' faulty, '.' healthy).
+[[nodiscard]] std::string renderFaultMap(const TorusTopology& topo, const FaultSet& faults,
+                                         int dim0 = 0, int dim1 = 1,
+                                         const Coordinates* anchor = nullptr);
+
+}  // namespace swft

@@ -1,0 +1,35 @@
+// Parameter-sweep harness: runs a grid of independent simulations across a
+// thread pool (each simulation owns all of its state, so points are
+// embarrassingly parallel) and collects paper-style result rows.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+
+struct SweepPoint {
+  std::string label;  // row label, e.g. "M=32 nf=3 V=4"
+  SimConfig cfg;
+};
+
+struct SweepRow {
+  SweepPoint point;
+  SimResult result;
+};
+
+/// Run all points; `threads` <= 0 means hardware concurrency. Points run in
+/// submission order per thread but complete out of order; the returned rows
+/// are in the original order. `onDone` (optional) is invoked after each
+/// point completes (serialised), e.g. for progress output.
+std::vector<SweepRow> runSweep(std::vector<SweepPoint> points, int threads = 0,
+                               const std::function<void(const SweepRow&)>& onDone = {});
+
+/// Standard λ grids used by the latency-vs-traffic figures: `maxRate` spread
+/// over `steps` points (excluding zero).
+[[nodiscard]] std::vector<double> rateGrid(double maxRate, int steps);
+
+}  // namespace swft

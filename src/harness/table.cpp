@@ -1,0 +1,81 @@
+#include "src/harness/table.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace swft {
+
+double resultField(const SimResult& r, const std::string& name) {
+  if (name == "latency") return r.meanLatency;
+  if (name == "latency_stddev") return r.latencyStddev;
+  if (name == "latency_p50") return r.latencyP50;
+  if (name == "latency_p95") return r.latencyP95;
+  if (name == "latency_p99") return r.latencyP99;
+  if (name == "latency_ci95") return r.latencyCi95;
+  if (name == "throughput") return r.throughput;
+  if (name == "queued") return static_cast<double>(r.messagesQueued);
+  if (name == "hops") return r.meanHops;
+  if (name == "generated") return static_cast<double>(r.generatedTotal);
+  if (name == "delivered") return static_cast<double>(r.deliveredTotal);
+  if (name == "absorbed") return static_cast<double>(r.absorbedMessages);
+  if (name == "reversals") return static_cast<double>(r.reversals);
+  if (name == "detours") return static_cast<double>(r.detours);
+  if (name == "escalations") return static_cast<double>(r.escalations);
+  if (name == "cycles") return static_cast<double>(r.cycles);
+  if (name == "saturated") return r.saturated ? 1.0 : 0.0;
+  if (name == "offered") return r.offeredLoad;
+  throw std::invalid_argument("resultField: unknown column " + name);
+}
+
+std::string formatTable(const std::vector<SweepRow>& rows,
+                        const std::vector<std::string>& columns) {
+  std::size_t labelWidth = 5;
+  for (const auto& row : rows) labelWidth = std::max(labelWidth, row.point.label.size());
+
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(labelWidth + 2)) << "point";
+  for (const auto& col : columns) os << std::right << std::setw(14) << col;
+  os << '\n';
+  for (const auto& row : rows) {
+    os << std::left << std::setw(static_cast<int>(labelWidth + 2)) << row.point.label;
+    for (const auto& col : columns) {
+      const double v = resultField(row.result, col);
+      os << std::right << std::setw(14) << std::setprecision(6) << v;
+    }
+    if (row.result.saturated) os << "  [saturated]";
+    if (row.result.deadlockSuspected) os << "  [DEADLOCK?]";
+    os << '\n';
+  }
+  return os.str();
+}
+
+CsvWriter toCsv(const std::vector<SweepRow>& rows) {
+  CsvWriter csv({"label", "routing", "radix", "dims", "vcs", "msg_length", "offered_load",
+                 "faulty_nodes", "mean_latency", "latency_stddev", "throughput",
+                 "messages_queued", "absorbed_messages", "mean_hops", "cycles",
+                 "delivered_measured", "saturated", "deadlock"});
+  for (const auto& row : rows) {
+    const SimConfig& c = row.point.cfg;
+    const SimResult& r = row.result;
+    csv.addRowOf(row.point.label, c.routingName(), c.radix, c.dims, c.vcs, c.messageLength,
+                 c.injectionRate,
+                 c.faults.randomNodes + static_cast<int>(c.faults.explicitNodes.size()),
+                 r.meanLatency, r.latencyStddev, r.throughput, r.messagesQueued,
+                 r.absorbedMessages, r.meanHops, r.cycles, r.deliveredMeasured,
+                 r.saturated ? 1 : 0, r.deadlockSuspected ? 1 : 0);
+  }
+  return csv;
+}
+
+std::string resultsDir() {
+  const char* env = std::getenv("SWFT_RESULTS_DIR");
+  std::string dir = env != nullptr ? env : "results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+}  // namespace swft

@@ -1,0 +1,151 @@
+#include "src/model/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swft {
+
+double meanUniformDistance(int radix, int dims) {
+  // Per-dimension mean of min(d, k-d) over offsets d = 0..k-1, then scale by
+  // N/(N-1) to exclude the self destination (offset 0 in every dimension).
+  const int k = radix;
+  double perDim = 0.0;
+  for (int d = 0; d < k; ++d) perDim += std::min(d, k - d);
+  perDim /= k;
+  double nodes = 1.0;
+  for (int i = 0; i < dims; ++i) nodes *= k;
+  const double total = perDim * dims;               // includes the self pair
+  return total * nodes / (nodes - 1.0);
+}
+
+namespace {
+
+/// Dally's virtual-channel multiplexing factor with the classical truncated-
+/// geometric occupancy (birth-death steady state): p_i ∝ rho^i, i = 0..V.
+double multiplexFactor(int vcs, double rho) {
+  rho = std::clamp(rho, 0.0, 0.999);
+  double norm = 0.0;
+  double num = 0.0;
+  double den = 0.0;
+  double w = 1.0;
+  for (int i = 0; i <= vcs; ++i) {
+    norm += w;
+    num += static_cast<double>(i) * static_cast<double>(i) * w;
+    den += static_cast<double>(i) * w;
+    w *= rho;
+  }
+  (void)norm;  // cancels in the ratio
+  return den > 0.0 ? std::max(1.0, num / den) : 1.0;
+}
+
+/// Probability that all V virtual channels of a physical channel are busy,
+/// under the same truncated-geometric occupancy.
+double allVcsBusy(int vcs, double rho) {
+  rho = std::clamp(rho, 0.0, 0.999);
+  double norm = 0.0;
+  double w = 1.0;
+  for (int i = 0; i <= vcs; ++i) {
+    norm += w;
+    w *= rho;
+  }
+  return std::pow(rho, vcs) / norm;
+}
+
+/// M/G/1 mean waiting time with service S, arrival rate a and squared
+/// coefficient of variation cv2 (Pollaczek–Khinchine).
+double mg1Wait(double a, double s, double cv2) {
+  const double rho = a * s;
+  if (rho >= 1.0) return std::numeric_limits<double>::infinity();
+  return rho * s * (1.0 + cv2) / (2.0 * (1.0 - rho));
+}
+
+}  // namespace
+
+ModelResult analyticLatency(const SimConfig& cfg) {
+  ModelResult r;
+  const int n = cfg.dims;
+  const int v = cfg.vcs;
+  const double m = cfg.messageLength;
+  const double lambda = cfg.injectionRate;
+
+  r.meanHops = meanUniformDistance(cfg.radix, n);
+
+  // Faulty nodes neither generate nor sink traffic; the surviving healthy
+  // population keeps the same uniform structure to first order.
+  double totalNodes = 1.0;
+  for (int i = 0; i < n; ++i) totalNodes *= cfg.radix;
+  double nf = cfg.faults.randomNodes + static_cast<double>(cfg.faults.explicitNodes.size());
+  for (const RegionSpec& spec : cfg.faults.regions) {
+    nf += static_cast<double>(regionCells(spec).size());
+  }
+
+  // Software-Based fault extension: absorption probability and per-event
+  // overhead. Each absorbed epoch re-plays ejection (M flit cycles), the
+  // messaging layer (Delta), and a short detour (~k/4 extra hops).
+  const double faultFraction = nf / std::max(1.0, totalNodes - 1.0);
+  r.absorbProbability = 1.0 - std::pow(1.0 - faultFraction, r.meanHops);
+  const double detour = static_cast<double>(cfg.radix) / 4.0;
+  const double absorbCost = m + static_cast<double>(cfg.reinjectDelay) + detour;
+
+  // Effective offered rate per directed network channel. Re-injected
+  // messages add their traffic again (they re-traverse ~dbar/2 channels).
+  const double reinjectFactor = 1.0 + 0.5 * r.absorbProbability;
+  r.channelRate = lambda * reinjectFactor * r.meanHops / (2.0 * n);
+
+  // Fixed point on the channel service time.
+  const double cv2 = 0.5;  // wormhole service times are moderately variable
+  double s = m;
+  bool saturated = false;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double rho = r.channelRate * s;
+    if (rho >= 0.999) {
+      saturated = true;
+      break;
+    }
+    const double pAllBusy = allVcsBusy(v, rho);
+    const double wait = mg1Wait(r.channelRate, s, cv2);
+    const double next = m + pAllBusy * wait;
+    if (std::abs(next - s) < 1e-9) {
+      s = next;
+      break;
+    }
+    s = 0.5 * s + 0.5 * next;  // damped iteration
+  }
+  r.serviceTime = s;
+  r.channelUtilisation = std::min(1.0, r.channelRate * s);
+  r.multiplexFactor = multiplexFactor(v, r.channelUtilisation);
+  r.saturated = saturated;
+
+  // Saturation estimate: rho -> 1 with the unloaded service time.
+  r.saturationRate = 2.0 * n / (r.meanHops * m * reinjectFactor);
+
+  if (saturated) {
+    r.meanLatency = std::numeric_limits<double>::infinity();
+    return r;
+  }
+
+  // Per-hop header delay: one cycle per hop plus contention amortised over
+  // the path; the message body pipelines behind the header.
+  const double rho = r.channelUtilisation;
+  const double pAllBusy = allVcsBusy(v, rho);
+  const double blockPerHop = pAllBusy * mg1Wait(r.channelRate, s, cv2);
+  const double networkLatency =
+      (r.meanHops + m + r.meanHops * blockPerHop) * r.multiplexFactor;
+
+  // Injection (source) queue: M/G/1 with service ~ network header epoch.
+  const double srcService = m * r.multiplexFactor;
+  const double srcWait = mg1Wait(lambda * reinjectFactor, srcService, cv2);
+  if (!std::isfinite(srcWait)) {
+    r.saturated = true;
+    r.meanLatency = std::numeric_limits<double>::infinity();
+    return r;
+  }
+
+  // Expected software overhead per message (absorptions re-play an epoch).
+  const double softwareOverhead = r.absorbProbability * (absorbCost + srcWait);
+
+  r.meanLatency = networkLatency + srcWait + softwareOverhead;
+  return r;
+}
+
+}  // namespace swft

@@ -1,0 +1,22 @@
+#include "src/router/message_pool.hpp"
+
+namespace swft {
+
+MsgId MessagePool::allocate() {
+  ++live_;
+  if (!freeList_.empty()) {
+    const MsgId id = freeList_.back();
+    freeList_.pop_back();
+    slots_[id] = Message{};
+    return id;
+  }
+  slots_.emplace_back();
+  return static_cast<MsgId>(slots_.size() - 1);
+}
+
+void MessagePool::release(MsgId id) {
+  --live_;
+  freeList_.push_back(id);
+}
+
+}  // namespace swft

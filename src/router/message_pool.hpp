@@ -1,0 +1,34 @@
+// Slab allocator for in-flight messages.
+//
+// Flits reference messages by MsgId (an index into the slab); slots are
+// recycled through a free list once the tail flit is consumed, so the pool
+// size tracks the number of messages alive in the network + source queues.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/router/message.hpp"
+
+namespace swft {
+
+class MessagePool {
+ public:
+  /// Allocate a slot; returns its id. The slot content is value-initialised.
+  MsgId allocate();
+  /// Return a slot to the free list. The id must be live.
+  void release(MsgId id);
+
+  [[nodiscard]] Message& get(MsgId id) noexcept { return slots_[id]; }
+  [[nodiscard]] const Message& get(MsgId id) const noexcept { return slots_[id]; }
+
+  [[nodiscard]] std::size_t liveCount() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<Message> slots_;
+  std::vector<MsgId> freeList_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace swft

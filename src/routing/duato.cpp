@@ -1,0 +1,54 @@
+#include "src/routing/duato.hpp"
+
+namespace swft {
+
+InlineVector<Hop, kMaxDims> DuatoRouting::profitableHops(const Message& msg,
+                                                         NodeId cur) const {
+  InlineVector<Hop, kMaxDims> hops;
+  const Coordinates cc = topo_->coordsOf(cur);
+  const Coordinates tc = topo_->coordsOf(msg.curTarget);
+  for (int d = 0; d < topo_->dims(); ++d) {
+    if (cc[d] == tc[d]) continue;
+    hops.push_back(Hop{static_cast<std::uint8_t>(d), topo_->minimalDir(cc[d], tc[d])});
+  }
+  return hops;
+}
+
+RouteDecision DuatoRouting::route(const Message& msg, NodeId cur, const FaultSet& faults,
+                                  const VcPartition& part) const {
+  const auto profitable = profitableHops(msg, cur);
+  if (profitable.empty()) return RouteDecision::deliver();
+
+  RouteDecision d;
+  d.kind = RouteDecision::Kind::Forward;
+
+  // Fully adaptive candidates: any healthy minimal hop on an adaptive VC.
+  const VcMask adaptive = part.adaptiveMask();
+  int healthyProfitable = 0;
+  for (const Hop& hop : profitable) {
+    if (faults.linkFaulty(cur, hop.dim, hop.dir)) continue;
+    ++healthyProfitable;
+    if (adaptive != 0) {
+      d.candidates.push_back(
+          RouteCandidate{static_cast<std::uint8_t>(portOf(hop.dim, hop.dir)), adaptive});
+    }
+  }
+
+  // Escape candidate: the e-cube hop on the escape VC of the wrap class.
+  const auto escapeHop = ecube_.nextHop(msg, cur);  // non-null: target not reached
+  if (!faults.linkFaulty(cur, escapeHop->dim, escapeHop->dir)) {
+    const int wrapClass = msg.wrapped(escapeHop->dim) ? 1 : 0;
+    d.candidates.push_back(
+        RouteCandidate{static_cast<std::uint8_t>(portOf(escapeHop->dim, escapeHop->dir)),
+                       part.escapeMask(wrapClass)});
+  }
+
+  if (healthyProfitable == 0) {
+    // "Once a message finds the outgoing channel at a node leads to a fault
+    // [with no profitable alternative], the message is absorbed" (§4).
+    return RouteDecision::absorb(escapeHop->dim, escapeHop->dir);
+  }
+  return d;
+}
+
+}  // namespace swft

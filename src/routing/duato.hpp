@@ -1,0 +1,39 @@
+// Duato's Protocol (DP) fully adaptive routing [Duato 1993] on top of the
+// e-cube escape sub-function — the adapRouting2D/SW-Based-nD adaptive
+// routing function.
+//
+// A header may take any minimal ("profitable") hop on an adaptive VC, or the
+// e-cube hop on the escape VC of its wrap class. Deadlock freedom follows
+// from the escape sub-function's acyclic extended dependency graph.
+//
+// Fault handling per the paper (§4): the message is absorbed only when every
+// profitable output channel is faulty; after the first absorption it is
+// downgraded to deterministic routing permanently.
+#pragma once
+
+#include "src/fault/fault_set.hpp"
+#include "src/router/message.hpp"
+#include "src/routing/ecube.hpp"
+#include "src/routing/types.hpp"
+
+namespace swft {
+
+class DuatoRouting {
+ public:
+  explicit DuatoRouting(const TorusTopology& topo) : topo_(&topo), ecube_(topo) {}
+
+  /// Route decision for an adaptive-mode header. Messages downgraded to
+  /// deterministic mode must be routed through EcubeRouting instead.
+  [[nodiscard]] RouteDecision route(const Message& msg, NodeId cur, const FaultSet& faults,
+                                    const VcPartition& part) const;
+
+  /// Profitable (minimal) hops from cur toward the target, healthy or not.
+  [[nodiscard]] InlineVector<Hop, kMaxDims> profitableHops(const Message& msg,
+                                                           NodeId cur) const;
+
+ private:
+  const TorusTopology* topo_;
+  EcubeRouting ecube_;
+};
+
+}  // namespace swft

@@ -1,0 +1,49 @@
+#include "src/routing/ecube.hpp"
+
+namespace swft {
+
+std::optional<Hop> EcubeRouting::nextHop(const Message& msg, NodeId cur) const {
+  const Coordinates cc = topo_->coordsOf(cur);
+  const Coordinates tc = topo_->coordsOf(msg.curTarget);
+  for (int d = 0; d < topo_->dims(); ++d) {
+    if (cc[d] == tc[d]) continue;
+    Dir dir;
+    if (msg.dirOverride[d] != kNoOverride) {
+      dir = msg.dirOverride[d] > 0 ? Dir::Pos : Dir::Neg;
+    } else {
+      dir = topo_->minimalDir(cc[d], tc[d]);
+    }
+    return Hop{static_cast<std::uint8_t>(d), dir};
+  }
+  return std::nullopt;
+}
+
+RouteDecision EcubeRouting::route(const Message& msg, NodeId cur, const FaultSet& faults,
+                                  const VcPartition& part) const {
+  const auto hop = nextHop(msg, cur);
+  if (!hop) return RouteDecision::deliver();
+  if (faults.linkFaulty(cur, hop->dim, hop->dir)) {
+    return RouteDecision::absorb(hop->dim, hop->dir);
+  }
+  RouteDecision d;
+  d.kind = RouteDecision::Kind::Forward;
+  const int wrapClass = msg.wrapped(hop->dim) ? 1 : 0;
+  d.candidates.push_back(RouteCandidate{
+      static_cast<std::uint8_t>(portOf(hop->dim, hop->dir)), part.escapeMask(wrapClass)});
+  return d;
+}
+
+std::vector<Hop> EcubeRouting::tracePath(const Message& msg, NodeId cur) const {
+  std::vector<Hop> path;
+  Message probe = msg;  // local copy: we only read routing fields
+  NodeId at = cur;
+  while (auto hop = nextHop(probe, at)) {
+    path.push_back(*hop);
+    at = topo_->neighbor(at, hop->dim, hop->dir);
+    // Guard against pathological overrides looping a full ring forever.
+    if (path.size() > static_cast<std::size_t>(topo_->dims() * topo_->radix() + 1)) break;
+  }
+  return path;
+}
+
+}  // namespace swft

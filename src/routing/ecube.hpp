@@ -1,0 +1,47 @@
+// Deterministic dimension-order (e-cube) routing with per-dimension direction
+// overrides — the detRouting2D/SW-Based-nD deterministic sub-function.
+//
+// In the fault-free case this is exactly e-cube: correct the lowest unmatched
+// dimension first, taking the minimal ring direction. A direction override
+// installed by the messaging layer forces the non-minimal ring direction in a
+// dimension (the "re-route in the same dimension in the opposite direction"
+// step of the Software-Based scheme); the path remains dimension-ordered, so
+// every in-network segment keeps the acyclic e-cube dependency structure.
+#pragma once
+
+#include <optional>
+
+#include "src/fault/fault_set.hpp"
+#include "src/router/message.hpp"
+#include "src/routing/types.hpp"
+
+namespace swft {
+
+struct Hop {
+  std::uint8_t dim = 0;
+  Dir dir = Dir::Pos;
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+class EcubeRouting {
+ public:
+  explicit EcubeRouting(const TorusTopology& topo) : topo_(&topo) {}
+
+  /// Next hop from `cur` toward `msg.curTarget`, honouring overrides.
+  /// nullopt iff cur == curTarget.
+  [[nodiscard]] std::optional<Hop> nextHop(const Message& msg, NodeId cur) const;
+
+  /// Full route decision: Deliver / Forward(single candidate) / Absorb.
+  [[nodiscard]] RouteDecision route(const Message& msg, NodeId cur, const FaultSet& faults,
+                                    const VcPartition& part) const;
+
+  /// The complete hop-by-hop path from `cur` to the target assuming no
+  /// faults interrupt it (used by the CDG verifier and tests).
+  [[nodiscard]] std::vector<Hop> tracePath(const Message& msg, NodeId cur) const;
+
+ private:
+  const TorusTopology* topo_;
+};
+
+}  // namespace swft

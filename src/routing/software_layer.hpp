@@ -1,0 +1,93 @@
+// The messaging-layer side of Software-Based fault-tolerant routing
+// (Suh et al. [1], extended to n dimensions per the paper, §4).
+//
+// When a header requires a faulty output channel, the router absorbs the
+// message: it is ejected and handed to this layer at the local node. The
+// layer rewrites the header using three per-node tables and re-injects the
+// message (with priority over newly generated traffic, after Δ cycles):
+//
+//   table 1 (fault table)     — health of the 2n incident links;
+//   table 2 (direction table) — per (blocked dim, dir): is the surviving
+//                               ring direction usable for a same-dimension
+//                               reversal?
+//   table 3 (detour table)    — per dimension: the preferred orthogonal
+//                               (dimension, direction) in the active
+//                               dimension pair for routing around a region.
+//
+// The rewrite produces either a per-dimension direction override (option i
+// of assumption (i): "modifies the header so the message may follow an
+// alternative path") or an intermediate node address (option ii) at which
+// the message will be absorbed again — chained software hops. Every
+// in-network segment stays dimension-ordered, which keeps the channel
+// dependency graph acyclic (see src/verify/cdg and DESIGN.md §2).
+//
+// The n-D extension: the active plane of a message blocked in dimension a is
+// the consecutive pair (a, a+1) — or (n-2, n-1) when a is the last dimension
+// — exactly the SW-Based-nD pairing of the paper's Fig. 2 pseudocode.
+#pragma once
+
+#include <vector>
+
+#include "src/fault/fault_set.hpp"
+#include "src/router/message.hpp"
+#include "src/routing/ecube.hpp"
+#include "src/util/rng.hpp"
+
+namespace swft {
+
+struct SoftwareLayerStats {
+  std::uint64_t absorptions = 0;   // total software absorptions (= "messages queued")
+  std::uint64_t reversals = 0;     // same-dimension direction reversals
+  std::uint64_t detours = 0;       // orthogonal intermediate-node hops
+  std::uint64_t escalations = 0;   // livelock-guard random intermediates
+  std::uint64_t reEvaluations = 0; // absorptions at planned intermediates
+};
+
+class SoftwareLayer {
+ public:
+  SoftwareLayer(const TorusTopology& topo, const FaultSet& faults, int livelockThreshold);
+
+  /// Rewrite the header of a message absorbed at node `at`. Mutates the
+  /// message routing state; the caller handles queueing/re-injection timing.
+  void planReroute(Message& msg, NodeId at, Rng& rng);
+
+  [[nodiscard]] const SoftwareLayerStats& stats() const noexcept { return stats_; }
+
+  /// Absorption events handled by the messaging layer of `node` so far.
+  /// Identifies the hot software nodes around a fault region.
+  [[nodiscard]] std::uint64_t absorptionsAt(NodeId node) const noexcept {
+    return absorptionsAt_[node];
+  }
+
+  /// Active-plane partner of dimension `dim` (paper Fig. 2 pairing).
+  [[nodiscard]] int planePartner(int dim) const noexcept;
+
+  /// Exposed for tests: the per-node reroute tables.
+  struct NodeTables {
+    std::uint16_t healthyLinkMask = 0;       // table 1: bit portOf(dim,dir)
+    std::uint16_t reversalUsable = 0;        // table 2: bit portOf(dim,dir) set iff
+                                             //   reversing a hop blocked in (dim,dir)
+                                             //   can leave via (dim, -dir)
+    std::int8_t detourDim[kMaxDims] = {};    // table 3: preferred orthogonal dim
+    std::int8_t detourDirStep[kMaxDims] = {};//   and direction (0 if none usable)
+  };
+  [[nodiscard]] const NodeTables& tables(NodeId node) const noexcept {
+    return tables_[node];
+  }
+
+ private:
+  void handleBlocked(Message& msg, NodeId at, int dim, int dirStep, Rng& rng);
+  void escalate(Message& msg, NodeId at, Rng& rng);
+  [[nodiscard]] bool linkHealthy(NodeId at, int dim, int dirStep) const noexcept;
+
+  const TorusTopology* topo_;
+  const FaultSet* faults_;
+  EcubeRouting ecube_;
+  int livelockThreshold_;
+  SoftwareLayerStats stats_;
+  std::vector<NodeTables> tables_;
+  std::vector<NodeId> healthyNodes_;
+  std::vector<std::uint64_t> absorptionsAt_;
+};
+
+}  // namespace swft

@@ -1,0 +1,47 @@
+// Shared routing-decision types exchanged between the routing functions and
+// the router pipeline.
+#pragma once
+
+#include "src/routing/vc_partition.hpp"
+#include "src/topology/torus.hpp"
+#include "src/util/inline_vector.hpp"
+
+namespace swft {
+
+/// One admissible (output port, VC set) pair for a header flit.
+struct RouteCandidate {
+  std::uint8_t outPort = 0;
+  VcMask vcs = 0;
+
+  friend bool operator==(const RouteCandidate&, const RouteCandidate&) = default;
+};
+
+/// Outcome of route computation for a header at an intermediate router.
+struct RouteDecision {
+  enum class Kind : std::uint8_t {
+    Forward,  // proceed through one of `candidates`
+    Deliver,  // current node is the routing target: eject
+    Absorb,   // required channel(s) faulty: eject to the messaging layer
+  };
+
+  Kind kind = Kind::Forward;
+  InlineVector<RouteCandidate, 2 * kMaxDims + 1> candidates;
+  // Valid when kind == Absorb: the hop that was blocked by the fault.
+  std::uint8_t blockedDim = 0;
+  std::int8_t blockedDirStep = 0;
+
+  static RouteDecision deliver() {
+    RouteDecision d;
+    d.kind = Kind::Deliver;
+    return d;
+  }
+  static RouteDecision absorb(int dim, Dir dir) {
+    RouteDecision d;
+    d.kind = Kind::Absorb;
+    d.blockedDim = static_cast<std::uint8_t>(dim);
+    d.blockedDirStep = static_cast<std::int8_t>(dirStep(dir));
+    return d;
+  }
+};
+
+}  // namespace swft

@@ -1,0 +1,34 @@
+#include "src/routing/vc_partition.hpp"
+
+#include <stdexcept>
+
+namespace swft {
+
+VcPartition::VcPartition(RoutingMode mode, int vcs, int escapeVcs)
+    : mode_(mode), vcs_(vcs) {
+  if (vcs < 2 || vcs > kMaxVcs) {
+    throw std::invalid_argument("VcPartition: need 2 <= V <= 16 (torus wrap classes)");
+  }
+  if (mode == RoutingMode::Deterministic) {
+    // All VCs belong to the e-cube function, split into the two wrap classes
+    // by index parity so both classes keep buffers for any V >= 2.
+    escapeCount_ = vcs;
+    for (int v = 0; v < vcs; ++v) {
+      escape_[v & 1] |= static_cast<VcMask>(1u << v);
+    }
+    adaptive_ = 0;
+  } else {
+    // Duato's protocol: an escape pool (default VC0/VC1) split between the
+    // two wrap classes by parity, the rest fully adaptive.
+    if (escapeVcs < 2 || escapeVcs > vcs || escapeVcs % 2 != 0) {
+      throw std::invalid_argument("VcPartition: escapeVcs must be even, in [2, V]");
+    }
+    escapeCount_ = escapeVcs;
+    for (int v = 0; v < escapeVcs; ++v) {
+      escape_[v & 1] |= static_cast<VcMask>(1u << v);
+    }
+    for (int v = escapeVcs; v < vcs; ++v) adaptive_ |= static_cast<VcMask>(1u << v);
+  }
+}
+
+}  // namespace swft

@@ -1,0 +1,52 @@
+// Virtual-channel organisation (paper §2, §4).
+//
+// Torus deterministic routing needs two VC classes per physical channel to
+// break the wrap-around cycle (Dally–Seitz): class 0 before a message crosses
+// the dimension's wrap link, class 1 after. We map class c to the VCs whose
+// index has parity c, so every class keeps V/2 buffers.
+//
+// Duato's Protocol reserves VC0/VC1 as the escape pair (classes 0/1 of the
+// e-cube sub-function) and offers VC2..V-1 as fully adaptive channels.
+#pragma once
+
+#include <cstdint>
+
+#include "src/router/message.hpp"
+
+namespace swft {
+
+/// Bitmask over virtual channel indices (V <= 16).
+using VcMask = std::uint16_t;
+inline constexpr int kMaxVcs = 16;
+
+class VcPartition {
+ public:
+  /// `escapeVcs` (adaptive mode only) sets the size of the escape pool;
+  /// it must be even (half per wrap class) and >= 2. The remaining
+  /// VCs are fully adaptive. Deterministic mode ignores it (all VCs escape).
+  explicit VcPartition(RoutingMode mode, int vcs, int escapeVcs = 2);
+
+  [[nodiscard]] int vcs() const noexcept { return vcs_; }
+  [[nodiscard]] RoutingMode mode() const noexcept { return mode_; }
+
+  /// VCs usable by the e-cube (escape / deterministic) sub-function for a
+  /// message in wrap class `wrapClass` (0 or 1).
+  [[nodiscard]] VcMask escapeMask(int wrapClass) const noexcept {
+    return escape_[wrapClass];
+  }
+
+  /// VCs usable by fully adaptive hops (empty under deterministic routing).
+  [[nodiscard]] VcMask adaptiveMask() const noexcept { return adaptive_; }
+
+  /// Number of escape VCs (both classes combined).
+  [[nodiscard]] int escapeCount() const noexcept { return escapeCount_; }
+
+ private:
+  RoutingMode mode_;
+  int vcs_;
+  int escapeCount_;
+  VcMask escape_[2]{};
+  VcMask adaptive_ = 0;
+};
+
+}  // namespace swft

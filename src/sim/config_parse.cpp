@@ -1,0 +1,160 @@
+#include "src/sim/config_parse.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+namespace swft {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument(what); }
+
+long long parseInt(const std::string& key, const std::string& value) {
+  long long out = 0;
+  const auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    fail("config: '" + key + "' expects an integer, got '" + value + "'");
+  }
+  return out;
+}
+
+double parseDouble(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return out;
+  } catch (const std::exception&) {
+    fail("config: '" + key + "' expects a number, got '" + value + "'");
+  }
+}
+
+RegionShape parseShape(const std::string& name) {
+  if (name == "I") return RegionShape::I;
+  if (name == "II") return RegionShape::II;
+  if (name == "rect") return RegionShape::Rect;
+  if (name == "L") return RegionShape::L;
+  if (name == "U") return RegionShape::U;
+  if (name == "plus") return RegionShape::Plus;
+  if (name == "T") return RegionShape::T;
+  if (name == "H") return RegionShape::H;
+  fail("config: unknown region shape '" + name + "'");
+}
+
+/// region value syntax: shape:E0xE1[@x,y], e.g. "U:4x3@2,2" or "rect:3x3".
+RegionSpec parseRegion(const SimConfig& cfg, const std::string& value) {
+  const auto colon = value.find(':');
+  if (colon == std::string::npos) fail("config: region needs 'shape:E0xE1[@x,y]'");
+  RegionSpec spec;
+  spec.shape = parseShape(value.substr(0, colon));
+  std::string rest = value.substr(colon + 1);
+  std::string anchorPart;
+  if (const auto at = rest.find('@'); at != std::string::npos) {
+    anchorPart = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+  }
+  const auto x = rest.find('x');
+  if (x == std::string::npos) fail("config: region extents need 'E0xE1'");
+  spec.extent0 = static_cast<int>(parseInt("region", rest.substr(0, x)));
+  spec.extent1 = static_cast<int>(parseInt("region", rest.substr(x + 1)));
+  spec.anchor.digit.resize(static_cast<std::size_t>(cfg.dims));
+  for (int d = 0; d < cfg.dims; ++d) spec.anchor[d] = static_cast<std::int16_t>(1);
+  if (!anchorPart.empty()) {
+    std::stringstream ss(anchorPart);
+    std::string digit;
+    int d = 0;
+    while (std::getline(ss, digit, ',') && d < cfg.dims) {
+      spec.anchor[d++] = static_cast<std::int16_t>(parseInt("region anchor", digit));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+void applyConfigAssignment(SimConfig& cfg, const std::string& assignment) {
+  const auto eq = assignment.find('=');
+  if (eq == std::string::npos) {
+    fail("config: expected key=value, got '" + assignment + "'");
+  }
+  const std::string key = assignment.substr(0, eq);
+  const std::string value = assignment.substr(eq + 1);
+
+  if (key == "k") {
+    cfg.radix = static_cast<int>(parseInt(key, value));
+  } else if (key == "n") {
+    cfg.dims = static_cast<int>(parseInt(key, value));
+  } else if (key == "vcs") {
+    cfg.vcs = static_cast<int>(parseInt(key, value));
+  } else if (key == "escape_vcs") {
+    cfg.escapeVcs = static_cast<int>(parseInt(key, value));
+  } else if (key == "buffer_depth") {
+    cfg.bufferDepth = static_cast<int>(parseInt(key, value));
+  } else if (key == "msg_length") {
+    cfg.messageLength = static_cast<int>(parseInt(key, value));
+  } else if (key == "rate") {
+    cfg.injectionRate = parseDouble(key, value);
+  } else if (key == "delta") {
+    cfg.reinjectDelay = static_cast<int>(parseInt(key, value));
+  } else if (key == "td") {
+    cfg.routerDecisionTime = static_cast<int>(parseInt(key, value));
+  } else if (key == "nf") {
+    cfg.faults.randomNodes = static_cast<int>(parseInt(key, value));
+  } else if (key == "warmup") {
+    cfg.warmupMessages = static_cast<std::uint32_t>(parseInt(key, value));
+  } else if (key == "measured") {
+    cfg.measuredMessages = static_cast<std::uint32_t>(parseInt(key, value));
+  } else if (key == "max_cycles") {
+    cfg.maxCycles = static_cast<std::uint64_t>(parseInt(key, value));
+  } else if (key == "seed") {
+    cfg.seed = static_cast<std::uint64_t>(parseInt(key, value));
+  } else if (key == "livelock_threshold") {
+    cfg.livelockThreshold = static_cast<int>(parseInt(key, value));
+  } else if (key == "routing") {
+    if (value == "det" || value == "deterministic") {
+      cfg.routing = RoutingMode::Deterministic;
+    } else if (value == "adaptive" || value == "adp") {
+      cfg.routing = RoutingMode::Adaptive;
+    } else {
+      fail("config: routing must be det|adaptive, got '" + value + "'");
+    }
+  } else if (key == "pattern") {
+    if (value == "uniform") {
+      cfg.pattern = TrafficPattern::Uniform;
+    } else if (value == "transpose") {
+      cfg.pattern = TrafficPattern::Transpose;
+    } else if (value == "bitcomp") {
+      cfg.pattern = TrafficPattern::BitComplement;
+    } else if (value == "hotspot") {
+      cfg.pattern = TrafficPattern::Hotspot;
+    } else {
+      fail("config: unknown traffic pattern '" + value + "'");
+    }
+  } else if (key == "region") {
+    cfg.faults.regions.push_back(parseRegion(cfg, value));
+  } else {
+    fail("config: unknown key '" + key + "'");
+  }
+}
+
+SimConfig parseConfig(std::span<const std::string> assignments, const SimConfig& defaults) {
+  SimConfig cfg = defaults;
+  for (const std::string& a : assignments) applyConfigAssignment(cfg, a);
+  return cfg;
+}
+
+std::string describeConfig(const SimConfig& cfg) {
+  std::ostringstream os;
+  os << cfg.radix << "-ary " << cfg.dims << "-cube, " << cfg.routingName()
+     << " routing, V=" << cfg.vcs << ", M=" << cfg.messageLength
+     << ", lambda=" << cfg.injectionRate << ", pattern=" << trafficPatternName(cfg.pattern)
+     << ", nf=" << cfg.faults.randomNodes;
+  if (!cfg.faults.regions.empty()) {
+    os << ", regions=" << cfg.faults.regions.size();
+  }
+  os << ", Delta=" << cfg.reinjectDelay << ", seed=" << cfg.seed;
+  return os.str();
+}
+
+}  // namespace swft

@@ -1,0 +1,29 @@
+// key=value configuration parsing for the CLI front-end and scripted runs.
+//
+// Accepted keys (all optional, defaults from SimConfig):
+//   k, n, vcs, escape_vcs, buffer_depth, msg_length, rate, routing
+//   (det|adaptive), pattern (uniform|transpose|bitcomp|hotspot), delta, td,
+//   nf (random node faults), region (shape:e0xe1[@x,y] — repeatable),
+//   warmup, measured, max_cycles, seed, livelock_threshold
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/sim/config.hpp"
+
+namespace swft {
+
+/// Parse one `key=value` assignment into `cfg`. Throws std::invalid_argument
+/// with a descriptive message on unknown keys or malformed values.
+void applyConfigAssignment(SimConfig& cfg, const std::string& assignment);
+
+/// Parse a whole argument list (e.g. argv[1..]); each element must be a
+/// `key=value` pair.
+SimConfig parseConfig(std::span<const std::string> assignments,
+                      const SimConfig& defaults = SimConfig{});
+
+/// One-line human-readable summary of a configuration.
+[[nodiscard]] std::string describeConfig(const SimConfig& cfg);
+
+}  // namespace swft

@@ -1,0 +1,317 @@
+// The per-cycle wormhole pipeline: generation/injection, route computation +
+// virtual-channel allocation, switch allocation + link traversal, ejection.
+//
+// Timing model (paper assumptions (f), (g)): routing decisions take Td
+// cycles (0 in all paper experiments); a flit crosses one link per cycle
+// when the downstream buffer has a free slot. A flit that arrived in cycle t
+// becomes eligible to depart in cycle t+1, which yields exactly one
+// cycle/hop end to end.
+#include <bit>
+#include <cassert>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+
+void Network::advanceCycle() {
+  // Phase 1: PEs generate traffic and stream flits into injection VCs.
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    stepGeneration(id);
+    stepInjection(id);
+  }
+
+  // Phase 2+3 per router. Alternate the sweep direction each cycle so the
+  // single-pass commit semantics do not systematically favour low ids.
+  const bool forward = (cycle_ & 1) == 0;
+  const auto n = static_cast<std::int64_t>(topo_.nodeCount());
+  for (std::int64_t i = 0; i < n; ++i) {
+    const NodeId id = static_cast<NodeId>(forward ? i : n - 1 - i);
+    if (!routers_[id].anyOccupied()) continue;
+    stepRouter(id);
+  }
+
+  ++cycle_;
+
+  // Deadlock watchdog (invariant: must never fire; see tests).
+  if (pool_.liveCount() > 0 && cycle_ - lastMovementCycle_ > cfg_.deadlockWindow) {
+    deadlockSuspected_ = true;
+  }
+}
+
+void Network::stepGeneration(NodeId id) {
+  NodeState& node = nodes_[id];
+  while (node.nextGenCycle <= cycle_) {
+    const NodeId dest = traffic_.pickDestination(id, node.rng);
+    node.nextGenCycle += node.rng.geometric(cfg_.injectionRate);
+    if (dest == kInvalidNode) continue;  // permutation maps to self/faulty
+    const MsgId msgId = pool_.allocate();
+    Message& m = pool_.get(msgId);
+    m.src = id;
+    m.finalDest = dest;
+    m.curTarget = dest;
+    m.seq = genSeq_++;
+    m.genCycle = cycle_;
+    m.length = static_cast<std::uint16_t>(cfg_.messageLength);
+    m.mode = cfg_.routing;
+    node.sourceQueue.push_back(msgId);
+    ++generatedTotal_;
+    if (!windowOpen_ && genSeq_ >= cfg_.warmupMessages) {
+      windowOpen_ = true;
+      windowStartCycle_ = cycle_;
+    }
+  }
+}
+
+void Network::stepInjection(NodeId id) {
+  NodeState& node = nodes_[id];
+  RouterState& router = routers_[id];
+  const int injPort = topo_.localPort();
+
+  // Pick the next message to stream: absorbed messages have priority over
+  // new messages (paper §4, starvation prevention).
+  if (node.streaming == kInvalidMsg) {
+    MsgId next = kInvalidMsg;
+    if (!node.swQueue.empty() && node.swQueue.front().readyCycle <= cycle_) {
+      next = node.swQueue.front().msg;
+      node.swQueue.pop_front();
+    } else if (!node.sourceQueue.empty()) {
+      next = node.sourceQueue.front();
+      node.sourceQueue.pop_front();
+    }
+    if (next == kInvalidMsg) return;
+    // Choose an injection VC whose buffer is empty; rotate the start index
+    // to spread successive messages over the V injection buffers.
+    int chosenVc = -1;
+    for (int i = 0; i < cfg_.vcs; ++i) {
+      const int vc = static_cast<int>((engineRng_.next() >> 32) + i) % cfg_.vcs;
+      if (router.unit(injPort, vc).buf.empty() && !router.unit(injPort, vc).routed) {
+        chosenVc = vc;
+        break;
+      }
+    }
+    if (chosenVc < 0) {
+      // All injection buffers busy: put the message back and retry later.
+      node.sourceQueue.push_front(next);
+      return;
+    }
+    node.streaming = next;
+    node.streamVc = chosenVc;
+    node.nextFlit = 0;
+    Message& m = pool_.get(next);
+    m.resetTransit();  // fresh network segment: wrap classes reset
+    m.flitsEjected = 0;
+    if (m.firstInjectCycle == ~std::uint64_t{0}) m.firstInjectCycle = cycle_;
+  }
+
+  // Stream one flit per cycle (injection channel bandwidth, assumption (g)).
+  Message& m = pool_.get(node.streaming);
+  const int unitIdx = router.unitIndex(injPort, node.streamVc);
+  InputUnit& unit = router.unit(unitIdx);
+  if (unit.buf.full()) return;
+  Flit f;
+  f.msg = node.streaming;
+  f.kind = m.flitKindAt(node.nextFlit);
+  const bool wasEmpty = unit.buf.empty();
+  unit.buf.push(f, cycle_);
+  if (wasEmpty) router.markOccupied(unitIdx);
+  lastMovementCycle_ = cycle_;
+  if (trace_ != nullptr && node.nextFlit == 0) {
+    trace_->record({m.absorptions > 0 ? TraceEvent::Kind::Reinject
+                                      : TraceEvent::Kind::Inject,
+                    cycle_, id, 0, m.seq});
+  }
+  ++node.nextFlit;
+  if (f.isTail()) {
+    node.streaming = kInvalidMsg;
+    node.streamVc = -1;
+  }
+}
+
+void Network::routeHeader(NodeId id, int unitIdx) {
+  RouterState& router = routers_[id];
+  InputUnit& unit = router.unit(unitIdx);
+  Message& msg = pool_.get(unit.buf.front().msg);
+
+  RouteDecision decision;
+  if (msg.curTarget == id) {
+    decision = RouteDecision::deliver();
+  } else if (msg.mode == RoutingMode::Adaptive) {
+    decision = duato_.route(msg, id, faults_, part_);
+  } else {
+    decision = ecube_.route(msg, id, faults_, part_);
+  }
+
+  switch (decision.kind) {
+    case RouteDecision::Kind::Deliver:
+      unit.routed = true;
+      unit.outPort = static_cast<std::uint8_t>(topo_.localPort());
+      return;
+    case RouteDecision::Kind::Absorb:
+      // The required outgoing channel leads to a fault: eject here and hand
+      // the message to the messaging layer (assumption (i)).
+      msg.blockedValid = true;
+      msg.blockedDim = decision.blockedDim;
+      msg.blockedDirStep = decision.blockedDirStep;
+      unit.routed = true;
+      unit.outPort = static_cast<std::uint8_t>(topo_.localPort());
+      return;
+    case RouteDecision::Kind::Forward:
+      break;
+  }
+
+  // Virtual-channel allocation: collect free output VCs over all candidates
+  // and pick one at random (assumption (e): "chooses randomly one of the
+  // available virtual channels ... that brings it closer to its destination").
+  InlineVector<std::uint16_t, 128> free;  // encoded port * 16 + vc
+  for (const RouteCandidate& cand : decision.candidates) {
+    if (free.size() == free.capacity()) break;
+    for (int vc = 0; vc < cfg_.vcs; ++vc) {
+      if (!(cand.vcs & (1u << vc))) continue;
+      if (router.outOwner(cand.outPort, vc) >= 0) continue;
+      free.push_back(static_cast<std::uint16_t>(cand.outPort * 16 + vc));
+      if (free.size() == free.capacity()) break;
+    }
+  }
+  if (free.empty()) return;  // all admissible VCs busy: retry next cycle
+  const std::uint16_t pick =
+      free[engineRng_.uniform(static_cast<std::uint32_t>(free.size()))];
+  const int outPort = pick / 16;
+  const int outVc = pick % 16;
+  unit.routed = true;
+  unit.outPort = static_cast<std::uint8_t>(outPort);
+  unit.outVc = static_cast<std::uint8_t>(outVc);
+  router.setOutOwner(outPort, outVc, static_cast<std::int16_t>(unitIdx));
+}
+
+void Network::stepRouter(NodeId id) {
+  RouterState& router = routers_[id];
+  const int ports = topo_.totalPorts();
+  const int localPort = topo_.localPort();
+  const auto td = static_cast<std::uint64_t>(cfg_.routerDecisionTime);
+
+  // Single pass over occupied units: route-compute unrouted headers, then
+  // record switch requests; per output port keep the round-robin-best
+  // eligible requester. (portOf(dim, opposite(dir)) == port ^ 1.)
+  InlineVector<std::int16_t, 2 * kMaxDims + 1> winner;
+  InlineVector<std::int16_t, 2 * kMaxDims + 1> winnerKey;
+  winner.resize(static_cast<std::size_t>(ports), -1);
+  winnerKey.resize(static_cast<std::size_t>(ports), std::int16_t{0x7FFF});
+
+  const auto& occ = router.occupancy();
+  const int unitCount = router.unitCount();
+  for (int w = 0; w < RouterState::kOccWords; ++w) {
+    std::uint64_t bits = occ[w];
+    while (bits) {
+      const int unitIdx = w * 64 + std::countr_zero(bits);
+      bits &= bits - 1;
+      InputUnit& unit = router.unit(unitIdx);
+      if (!unit.routed) {
+        if (!unit.buf.front().isHeader()) continue;
+        if (unit.buf.frontArrival() + td > cycle_) continue;  // Td model
+        routeHeader(id, unitIdx);
+        if (!unit.routed) continue;
+      }
+      if (unit.buf.frontArrival() >= cycle_) continue;  // arrived this cycle
+      const int port = unit.outPort;
+      if (port != localPort) {
+        // Credit check: the downstream input buffer must have a free slot.
+        const RouterState& downRouter = routers_[cachedNeighbor(id, port)];
+        if (downRouter.unit((port ^ 1) * cfg_.vcs + unit.outVc).buf.full()) continue;
+      }
+      // Round-robin key relative to the port cursor (branch beats modulo).
+      int key = unitIdx - router.cursor(port);
+      if (key < 0) key += unitCount;
+      if (key < winnerKey[static_cast<std::size_t>(port)]) {
+        winnerKey[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(key);
+        winner[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(unitIdx);
+      }
+    }
+  }
+
+  for (int port = 0; port < ports; ++port) {
+    const int unitIdx = winner[static_cast<std::size_t>(port)];
+    if (unitIdx < 0) continue;
+    router.setCursor(port, static_cast<std::uint16_t>((unitIdx + 1) % unitCount));
+    if (port == localPort) {
+      ejectFlit(id, unitIdx);
+      continue;
+    }
+    InputUnit& unit = router.unit(unitIdx);
+    const Flit flit = unit.buf.pop();
+    if (unit.buf.empty()) router.markEmpty(unitIdx);
+    lastMovementCycle_ = cycle_;
+
+    Message& msg = pool_.get(flit.msg);
+    if (flit.isHeader()) {
+      ++msg.hops;
+      if (cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
+      if (trace_ != nullptr) {
+        trace_->record({TraceEvent::Kind::Hop, cycle_, id,
+                        static_cast<std::uint8_t>(port), msg.seq});
+      }
+    }
+    RouterState& downRouter = routers_[cachedNeighbor(id, port)];
+    const int downUnitIdx = downRouter.unitIndex(port ^ 1, unit.outVc);
+    InputUnit& downUnit = downRouter.unit(downUnitIdx);
+    const bool wasEmpty = downUnit.buf.empty();
+    downUnit.buf.push(flit, cycle_);
+    if (wasEmpty) downRouter.markOccupied(downUnitIdx);
+
+    if (flit.isTail()) {
+      unit.routed = false;
+      router.setOutOwner(port, unit.outVc, -1);
+    }
+  }
+}
+
+void Network::ejectFlit(NodeId id, int unitIdx) {
+  RouterState& router = routers_[id];
+  InputUnit& unit = router.unit(unitIdx);
+  const Flit flit = unit.buf.pop();
+  if (unit.buf.empty()) router.markEmpty(unitIdx);
+  lastMovementCycle_ = cycle_;
+
+  Message& msg = pool_.get(flit.msg);
+  ++msg.flitsEjected;
+  if (flit.isTail()) {
+    unit.routed = false;
+    finalizeEjected(id, flit.msg);
+  }
+}
+
+void Network::finalizeEjected(NodeId id, MsgId msgId) {
+  Message& msg = pool_.get(msgId);
+  assert(msg.flitsEjected == msg.length && "partial message ejected");
+
+  const bool software = msg.blockedValid || (msg.absorbAtTarget && msg.curTarget == id);
+  if (trace_ != nullptr) {
+    trace_->record({software ? TraceEvent::Kind::Absorb : TraceEvent::Kind::Deliver,
+                    cycle_, id, 0, msg.seq});
+  }
+  if (!software) {
+    // Final delivery: the last data flit reached the destination PE.
+    assert(id == msg.finalDest);
+    ++deliveredTotal_;
+    if (windowOpen_) ++deliveredInWindow_;
+    if (msg.seq >= cfg_.warmupMessages) {
+      ++deliveredMeasured_;
+      latency_.add(static_cast<double>(cycle_ - msg.genCycle));
+      hops_.add(static_cast<double>(msg.hops));
+    }
+    pool_.release(msgId);
+    return;
+  }
+
+  // Software absorption: the messaging layer rewrites the header and queues
+  // the message for re-injection after Δ cycles (assumption (i)).
+  if (msg.absorptions == 0) ++absorbedMessages_;
+  software_.planReroute(msg, id, engineRng_);
+  scheduleReinjection(id, msgId);
+}
+
+void Network::scheduleReinjection(NodeId id, MsgId msgId) {
+  nodes_[id].swQueue.push_back(
+      PendingReinjection{msgId, cycle_ + static_cast<std::uint64_t>(cfg_.reinjectDelay)});
+}
+
+}  // namespace swft

@@ -1,0 +1,216 @@
+#include "src/sim/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swft {
+
+namespace {
+
+FaultSet buildFaults(const TorusTopology& topo, const FaultSpec& spec, Rng rng) {
+  FaultSet faults(topo);
+  for (NodeId id : spec.explicitNodes) faults.failNode(id);
+  for (const auto& link : spec.explicitLinks) {
+    faults.failLink(link[0], static_cast<int>(link[1]),
+                    link[2] == 0 ? Dir::Pos : Dir::Neg);
+  }
+  for (const RegionSpec& region : spec.regions) applyRegion(faults, region);
+  if (spec.randomNodes > 0) applyRandomNodeFaults(faults, spec.randomNodes, rng);
+  if (!spec.empty() && !healthyNetworkConnected(faults)) {
+    throw std::runtime_error("Network: fault pattern disconnects the network");
+  }
+  return faults;
+}
+
+}  // namespace
+
+Network::Network(const SimConfig& cfg)
+    : cfg_(cfg),
+      topo_(cfg.radix, cfg.dims),
+      faults_(buildFaults(topo_, cfg.faults, Rng(cfg.seed).split(0xFA17))),
+      part_(cfg.routing, cfg.vcs, cfg.escapeVcs),
+      ecube_(topo_),
+      duato_(topo_),
+      software0_(std::make_unique<SoftwareLayer>(topo_, faults_, cfg.livelockThreshold)),
+      software_(*software0_),
+      traffic_(cfg.pattern, faults_),
+      engineRng_(Rng(cfg.seed).split(0xE61E)) {
+  routers_.reserve(topo_.nodeCount());
+  nodes_.reserve(topo_.nodeCount());
+  const Rng nodeSeeder = Rng(cfg.seed).split(0x50DE);
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    routers_.emplace_back(topo_.totalPorts(), topo_.networkPorts(), cfg.vcs,
+                          cfg.bufferDepth);
+    NodeState node;
+    node.rng = nodeSeeder.split(id);
+    if (cfg.injectionRate > 0.0 && !faults_.nodeFaulty(id)) {
+      node.nextGenCycle = node.rng.geometric(cfg.injectionRate);
+    } else {
+      node.nextGenCycle = ~std::uint64_t{0};
+    }
+    nodes_.push_back(std::move(node));
+  }
+  healthyNodeCount_ = faults_.healthyNodes().size();
+  networkPorts_ = topo_.networkPorts();
+  nbr_.resize(static_cast<std::size_t>(topo_.nodeCount()) *
+              static_cast<std::size_t>(networkPorts_));
+  wrapBit_.resize(nbr_.size());
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    for (int port = 0; port < networkPorts_; ++port) {
+      const std::size_t idx =
+          static_cast<std::size_t>(id) * static_cast<std::size_t>(networkPorts_) +
+          static_cast<std::size_t>(port);
+      nbr_[idx] = topo_.neighbor(id, port);
+      wrapBit_[idx] = topo_.isWrapLink(id, dimOfPort(port), dirOfPort(port)) ? 1 : 0;
+    }
+  }
+  if (cfg.warmupMessages == 0) {
+    windowOpen_ = true;
+    windowStartCycle_ = 0;
+  }
+}
+
+MsgId Network::injectTestMessage(NodeId src, NodeId dest, int length, RoutingMode mode) {
+  if (faults_.nodeFaulty(src) || faults_.nodeFaulty(dest)) {
+    throw std::invalid_argument("injectTestMessage: endpoint is faulty");
+  }
+  const MsgId id = pool_.allocate();
+  Message& m = pool_.get(id);
+  m.src = src;
+  m.finalDest = dest;
+  m.curTarget = dest;
+  m.seq = genSeq_++;
+  m.genCycle = cycle_;
+  m.length = static_cast<std::uint16_t>(length);
+  m.mode = mode;
+  nodes_[src].sourceQueue.push_back(id);
+  ++generatedTotal_;
+  return id;
+}
+
+SimResult Network::snapshot() const {
+  SimResult r;
+  r.meanLatency = latency_.stat().mean();
+  r.latencyStddev =
+      latency_.stat().count() > 1 ? std::sqrt(latency_.stat().variance()) : 0.0;
+  r.maxLatency = latency_.stat().max();
+  r.latencyP50 = latency_.percentile(0.50);
+  r.latencyP95 = latency_.percentile(0.95);
+  r.latencyP99 = latency_.percentile(0.99);
+  r.latencyCi95 = latency_.ciHalfWidth95();
+  r.meanHops = hops_.mean();
+  r.cycles = cycle_;
+  r.generatedTotal = generatedTotal_;
+  r.deliveredTotal = deliveredTotal_;
+  r.deliveredMeasured = deliveredMeasured_;
+  r.offeredLoad = cfg_.injectionRate;
+  if (windowOpen_ && cycle_ > windowStartCycle_ && healthyNodeCount_ > 0) {
+    r.throughput = static_cast<double>(deliveredInWindow_) /
+                   (static_cast<double>(healthyNodeCount_) *
+                    static_cast<double>(cycle_ - windowStartCycle_));
+  }
+  const SoftwareLayerStats& sw = software_.stats();
+  r.messagesQueued = sw.absorptions;
+  r.absorbedMessages = absorbedMessages_;
+  r.reversals = sw.reversals;
+  r.detours = sw.detours;
+  r.escalations = sw.escalations;
+  r.deadlockSuspected = deadlockSuspected_;
+  r.completed = deliveredMeasured_ >= cfg_.measuredMessages;
+  // Saturation heuristic: the run did not complete, or the accepted rate
+  // fell visibly below the offered rate while queues grew.
+  const double accepted = r.throughput;
+  r.saturated = !r.completed ||
+                (cfg_.injectionRate > 0 && accepted > 0 &&
+                 accepted < 0.85 * cfg_.injectionRate && sourceQueueMean() > 8.0);
+  return r;
+}
+
+double Network::sourceQueueMean() const {
+  if (healthyNodeCount_ == 0) return 0.0;
+  std::size_t total = 0;
+  for (const NodeState& n : nodes_) total += n.queuedMessages();
+  return static_cast<double>(total) / static_cast<double>(healthyNodeCount_);
+}
+
+SimResult Network::run() {
+  while (cycle_ < cfg_.maxCycles) {
+    if (deliveredMeasured_ >= cfg_.measuredMessages) break;
+    if (deadlockSuspected_) break;
+    advanceCycle();
+  }
+  return snapshot();
+}
+
+void Network::step(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles && !deadlockSuspected_; ++i) advanceCycle();
+}
+
+SimResult runSimulation(const SimConfig& cfg) { return Network(cfg).run(); }
+
+std::string Network::validateInvariants() const {
+  const int vcs = cfg_.vcs;
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    const RouterState& router = routers_[id];
+    // 1. Occupancy bits mirror buffer emptiness exactly.
+    for (int u = 0; u < router.unitCount(); ++u) {
+      const bool bit = (router.occupancy()[static_cast<std::size_t>(u) >> 6] >>
+                        (u & 63)) & 1u;
+      const bool nonEmpty = !router.unit(u).buf.empty();
+      if (bit != nonEmpty) {
+        return "occupancy bit mismatch at node " + std::to_string(id) + " unit " +
+               std::to_string(u);
+      }
+    }
+    // 2. Output-VC ownership: every owner refers to a routed unit whose
+    //    allocation points back at exactly that (port, vc).
+    for (int port = 0; port < topo_.networkPorts(); ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        const std::int16_t owner = router.outOwner(port, vc);
+        if (owner < 0) continue;
+        if (owner >= router.unitCount()) {
+          return "out-of-range output owner at node " + std::to_string(id);
+        }
+        const InputUnit& unit = router.unit(owner);
+        if (!unit.routed || unit.outPort != port || unit.outVc != vc) {
+          return "inconsistent output ownership at node " + std::to_string(id) +
+                 " port " + std::to_string(port) + " vc " + std::to_string(vc);
+        }
+      }
+    }
+    // 3. A routed unit targeting a network port must hold that output VC.
+    for (int u = 0; u < router.unitCount(); ++u) {
+      const InputUnit& unit = router.unit(u);
+      if (!unit.routed || unit.outPort == topo_.localPort()) continue;
+      if (router.outOwner(unit.outPort, unit.outVc) != static_cast<std::int16_t>(u)) {
+        return "routed unit without matching ownership at node " + std::to_string(id);
+      }
+    }
+    // 4. Wormhole contiguity: within a VC buffer, flits between a header and
+    //    its tail belong to one message, and kinds follow H (B*) T framing.
+    for (int u = 0; u < router.unitCount(); ++u) {
+      FlitFifo copy = router.unit(u).buf;  // value copy: safe to drain
+      MsgId current = kInvalidMsg;
+      while (!copy.empty()) {
+        const Flit f = copy.pop();
+        if (current == kInvalidMsg) {
+          // First flit of a framing span: either a header, or the mid-drain
+          // remainder of a message whose header departed earlier.
+          current = f.msg;
+        } else if (f.msg != current) {
+          return "interleaved messages in one VC buffer at node " + std::to_string(id);
+        }
+        if (f.isTail()) current = kInvalidMsg;
+      }
+    }
+  }
+  // 5. Message accounting: pool live count covers queued + in-network flits.
+  std::size_t queued = 0;
+  for (const NodeState& n : nodes_) queued += n.queuedMessages();
+  if (queued > pool_.liveCount()) {
+    return "more queued messages than live pool slots";
+  }
+  return {};
+}
+
+}  // namespace swft

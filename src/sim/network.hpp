@@ -1,0 +1,131 @@
+// The simulated network: topology + faults + routers + PEs + the cycle
+// engine implementing flit-level wormhole switching with Software-Based
+// fault-tolerant routing (paper §4, §5).
+#pragma once
+
+#include <memory>
+
+#include "src/fault/connectivity.hpp"
+#include "src/router/message_pool.hpp"
+#include "src/routing/duato.hpp"
+#include "src/routing/ecube.hpp"
+#include "src/routing/software_layer.hpp"
+#include "src/sim/config.hpp"
+#include "src/sim/node.hpp"
+#include "src/sim/router_state.hpp"
+#include "src/sim/stats.hpp"
+#include "src/sim/trace.hpp"
+#include "src/traffic/patterns.hpp"
+
+namespace swft {
+
+class Network {
+ public:
+  explicit Network(const SimConfig& cfg);
+
+  /// Run the full experiment: warm-up, measurement, stop conditions.
+  SimResult run();
+
+  /// Advance exactly `cycles` cycles (stepping API for tests/examples).
+  void step(std::uint64_t cycles);
+
+  /// Finalise counters into a SimResult without running further.
+  [[nodiscard]] SimResult snapshot() const;
+
+  // --- introspection (tests, examples) -------------------------------------
+  [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const TorusTopology& topology() const noexcept { return topo_; }
+  [[nodiscard]] const FaultSet& faults() const noexcept { return faults_; }
+  [[nodiscard]] const SoftwareLayer& softwareLayer() const noexcept { return software_; }
+  [[nodiscard]] const MessagePool& pool() const noexcept { return pool_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return cycle_; }
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generatedTotal_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return deliveredTotal_; }
+  [[nodiscard]] std::uint64_t inFlight() const noexcept { return pool_.liveCount(); }
+  [[nodiscard]] bool deadlockSuspected() const noexcept { return deadlockSuspected_; }
+  [[nodiscard]] const RouterState& router(NodeId id) const noexcept { return routers_[id]; }
+  [[nodiscard]] const NodeState& node(NodeId id) const noexcept { return nodes_[id]; }
+
+  /// Inject a specific message immediately (testing hook). Returns its id.
+  MsgId injectTestMessage(NodeId src, NodeId dest, int length, RoutingMode mode);
+
+  /// Attach (or detach with nullptr) a per-message event recorder. The
+  /// recorder must outlive the network. Intended for tests and debugging;
+  /// tracing every event is O(messages x hops) memory.
+  void attachTrace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
+  /// Validate microarchitectural invariants (occupancy bits vs buffers,
+  /// output-VC ownership consistency, wormhole per-VC message contiguity,
+  /// credit bounds). Returns an empty string when consistent, else a
+  /// description of the first violation. O(network size); test/debug use.
+  [[nodiscard]] std::string validateInvariants() const;
+
+ private:
+  // One simulation cycle: injection, route computation + VC allocation,
+  // switch allocation + link traversal, ejection.
+  void advanceCycle();
+
+  void stepGeneration(NodeId id);
+  void stepInjection(NodeId id);
+  // Single pass per router: route computation + VC allocation for unrouted
+  // headers, then switch arbitration and link traversal for routed units.
+  void stepRouter(NodeId id);
+
+  [[nodiscard]] NodeId cachedNeighbor(NodeId id, int port) const noexcept {
+    return nbr_[static_cast<std::size_t>(id) * static_cast<std::size_t>(networkPorts_) +
+                static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] bool cachedWrap(NodeId id, int port) const noexcept {
+    return wrapBit_[static_cast<std::size_t>(id) * static_cast<std::size_t>(networkPorts_) +
+                    static_cast<std::size_t>(port)] != 0;
+  }
+
+  void routeHeader(NodeId id, int unitIdx);
+  void ejectFlit(NodeId id, int unitIdx);
+  void finalizeEjected(NodeId id, MsgId msgId);
+  void scheduleReinjection(NodeId id, MsgId msgId);
+  [[nodiscard]] double sourceQueueMean() const;
+
+  SimConfig cfg_;
+  TorusTopology topo_;
+  FaultSet faults_;
+  VcPartition part_;
+  EcubeRouting ecube_;
+  DuatoRouting duato_;
+  std::unique_ptr<SoftwareLayer> software0_;  // built after faults applied
+  SoftwareLayer& software_;
+  TrafficGenerator traffic_;
+  MessagePool pool_;
+
+  std::vector<RouterState> routers_;
+  std::vector<NodeState> nodes_;
+  Rng engineRng_;
+
+  // Hot-path topology caches (one entry per node x network port).
+  int networkPorts_ = 0;
+  std::vector<NodeId> nbr_;
+  std::vector<std::uint8_t> wrapBit_;
+
+  TraceRecorder* trace_ = nullptr;
+
+  // --- engine counters ------------------------------------------------------
+  std::uint64_t cycle_ = 0;
+  std::uint64_t lastMovementCycle_ = 0;
+  std::uint32_t genSeq_ = 0;
+  std::uint64_t generatedTotal_ = 0;
+  std::uint64_t deliveredTotal_ = 0;
+  std::uint64_t deliveredMeasured_ = 0;
+  std::uint64_t deliveredInWindow_ = 0;
+  std::uint64_t windowStartCycle_ = 0;
+  bool windowOpen_ = false;
+  std::uint64_t absorbedMessages_ = 0;  // distinct messages absorbed >= once
+  LatencyTracker latency_;
+  RunningStat hops_;
+  bool deadlockSuspected_ = false;
+  std::size_t healthyNodeCount_ = 0;
+};
+
+/// Convenience wrapper: build the network from `cfg` and run to completion.
+SimResult runSimulation(const SimConfig& cfg);
+
+}  // namespace swft

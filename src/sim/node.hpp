@@ -1,0 +1,42 @@
+// Processing-element side of a node: message generation, the source queue,
+// and the messaging-layer queue of absorbed messages awaiting re-injection
+// (paper assumptions (a), (d), (i)).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/router/flit.hpp"
+#include "src/util/rng.hpp"
+
+namespace swft {
+
+struct PendingReinjection {
+  MsgId msg = kInvalidMsg;
+  std::uint64_t readyCycle = 0;
+};
+
+struct NodeState {
+  /// Locally generated messages waiting to enter the network.
+  std::deque<MsgId> sourceQueue;
+  /// Absorbed messages being held by the messaging layer for Δ cycles.
+  /// FIFO: Δ is constant, so the deque stays sorted by readyCycle.
+  std::deque<PendingReinjection> swQueue;
+
+  /// Message currently being streamed into an injection virtual channel.
+  MsgId streaming = kInvalidMsg;
+  int streamVc = -1;
+  int nextFlit = 0;
+
+  /// Next cycle at which the Poisson (geometric inter-arrival) source fires.
+  std::uint64_t nextGenCycle = 0;
+
+  /// Per-node random stream: generation times, destinations.
+  Rng rng;
+
+  [[nodiscard]] std::size_t queuedMessages() const noexcept {
+    return sourceQueue.size() + swQueue.size();
+  }
+};
+
+}  // namespace swft

@@ -1,0 +1,23 @@
+#include "src/sim/router_state.hpp"
+
+#include <stdexcept>
+
+namespace swft {
+
+RouterState::RouterState(int totalPorts, int networkPorts, int vcs, int bufferDepth)
+    : vcs_(vcs),
+      outOwner_(static_cast<std::size_t>(networkPorts) * static_cast<std::size_t>(vcs), -1),
+      rrCursor_(static_cast<std::size_t>(totalPorts), 0) {
+  const int units = totalPorts * vcs;
+  if (units > kOccWords * 64) {
+    throw std::invalid_argument("RouterState: too many input units for occupancy mask");
+  }
+  units_.reserve(static_cast<std::size_t>(units));
+  for (int i = 0; i < units; ++i) {
+    InputUnit u;
+    u.buf = FlitFifo(bufferDepth);
+    units_.push_back(u);
+  }
+}
+
+}  // namespace swft

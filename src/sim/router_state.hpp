@@ -1,0 +1,78 @@
+// Per-router microarchitectural state (paper §2 node structure).
+//
+// Each router has (2n+1) input ports (2n network + injection) and (2n+1)
+// output ports (2n network + ejection), V virtual channels per port, a flit
+// buffer per input VC, and a crossbar that moves at most one flit per output
+// physical channel per cycle (virtual channels time-multiplex the link).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/router/flit.hpp"
+
+namespace swft {
+
+/// One input virtual channel: buffer + routing state of the head message.
+struct InputUnit {
+  FlitFifo buf{4};
+  bool routed = false;      // head message holds an output allocation
+  std::uint8_t outPort = 0; // valid when routed
+  std::uint8_t outVc = 0;   // valid when routed and outPort is a network port
+};
+
+/// All state of one router. Units are indexed unit = port * V + vc.
+class RouterState {
+ public:
+  static constexpr int kOccWords = 5;  // supports up to 320 input units
+
+  RouterState(int totalPorts, int networkPorts, int vcs, int bufferDepth);
+
+  [[nodiscard]] int vcs() const noexcept { return vcs_; }
+  [[nodiscard]] int unitCount() const noexcept { return static_cast<int>(units_.size()); }
+  [[nodiscard]] int unitIndex(int port, int vc) const noexcept { return port * vcs_ + vc; }
+
+  [[nodiscard]] InputUnit& unit(int idx) noexcept { return units_[idx]; }
+  [[nodiscard]] const InputUnit& unit(int idx) const noexcept { return units_[idx]; }
+  [[nodiscard]] InputUnit& unit(int port, int vc) noexcept {
+    return units_[unitIndex(port, vc)];
+  }
+
+  /// Owner (input-unit index at this router) of a network output VC, -1 free.
+  [[nodiscard]] std::int16_t outOwner(int port, int vc) const noexcept {
+    return outOwner_[port * vcs_ + vc];
+  }
+  void setOutOwner(int port, int vc, std::int16_t owner) noexcept {
+    outOwner_[port * vcs_ + vc] = owner;
+  }
+
+  // --- occupancy tracking (skip empty VCs in the per-cycle scans) ----------
+  void markOccupied(int unitIdx) noexcept {
+    occ_[static_cast<std::size_t>(unitIdx) >> 6] |= (1ULL << (unitIdx & 63));
+  }
+  void markEmpty(int unitIdx) noexcept {
+    occ_[static_cast<std::size_t>(unitIdx) >> 6] &= ~(1ULL << (unitIdx & 63));
+  }
+  [[nodiscard]] bool anyOccupied() const noexcept {
+    for (auto w : occ_)
+      if (w) return true;
+    return false;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, kOccWords>& occupancy() const noexcept {
+    return occ_;
+  }
+
+  /// Round-robin cursor for switch arbitration at an output port.
+  [[nodiscard]] std::uint16_t cursor(int port) const noexcept { return rrCursor_[port]; }
+  void setCursor(int port, std::uint16_t c) noexcept { rrCursor_[port] = c; }
+
+ private:
+  int vcs_;
+  std::vector<InputUnit> units_;
+  std::vector<std::int16_t> outOwner_;
+  std::array<std::uint64_t, kOccWords> occ_{};
+  std::vector<std::uint16_t> rrCursor_;
+};
+
+}  // namespace swft

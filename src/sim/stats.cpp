@@ -1,0 +1,30 @@
+#include "src/sim/stats.hpp"
+
+#include "src/sim/config.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace swft {
+
+ScalePreset scaleFromEnv() {
+  const char* env = std::getenv("SWFT_SCALE");
+  if (env != nullptr && std::strcmp(env, "paper") == 0) return ScalePreset::Paper;
+  return ScalePreset::Reduced;
+}
+
+void applyScale(SimConfig& cfg, ScalePreset scale) {
+  if (scale == ScalePreset::Paper) {
+    // Paper §5.2: 100,000 messages per generation rate, statistics inhibited
+    // for the first 10,000.
+    cfg.warmupMessages = 10'000;
+    cfg.measuredMessages = 90'000;
+    cfg.maxCycles = 40'000'000;
+  } else {
+    cfg.warmupMessages = 2'000;
+    cfg.measuredMessages = 8'000;
+    cfg.maxCycles = 1'500'000;
+  }
+}
+
+}  // namespace swft

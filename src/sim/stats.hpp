@@ -1,0 +1,138 @@
+// Statistics collection (paper §5.2): mean message latency, throughput over
+// the measurement window, and the "messages queued" absorption counter.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace swft {
+
+/// Streaming accumulator for a scalar sample (mean / min / max / variance).
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Latency sample accumulator: streaming moments plus a logarithmic-bucket
+/// histogram for percentiles and batch means for a 95% confidence interval
+/// on the mean (standard steady-state simulation methodology; the paper's
+/// warm-up-then-measure protocol assumes it implicitly).
+class LatencyTracker {
+ public:
+  static constexpr int kBuckets = 64;       // bucket b covers [2^(b/2)-ish)
+  static constexpr std::uint64_t kBatchSize = 512;
+
+  void add(double x) noexcept {
+    stat_.add(x);
+    ++hist_[bucketOf(x)];
+    batchSum_ += x;
+    if (++batchCount_ == kBatchSize) {
+      batchMeans_.add(batchSum_ / static_cast<double>(kBatchSize));
+      batchSum_ = 0.0;
+      batchCount_ = 0;
+    }
+  }
+
+  [[nodiscard]] const RunningStat& stat() const noexcept { return stat_; }
+
+  /// Approximate percentile (0 < q < 1) from the histogram; the value is
+  /// exact to within the bucket resolution (~sqrt(2) relative).
+  [[nodiscard]] double percentile(double q) const noexcept {
+    const std::uint64_t n = stat_.count();
+    if (n == 0) return 0.0;
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += hist_[b];
+      if (seen > target) return bucketMid(b);
+    }
+    return stat_.max();
+  }
+
+  /// Half-width of the 95% confidence interval on the mean, from batch
+  /// means (0 when fewer than two complete batches exist).
+  [[nodiscard]] double ciHalfWidth95() const noexcept {
+    const std::uint64_t k = batchMeans_.count();
+    if (k < 2) return 0.0;
+    const double se = std::sqrt(batchMeans_.variance() / static_cast<double>(k));
+    return 1.96 * se;
+  }
+
+ private:
+  static int bucketOf(double x) noexcept {
+    if (x < 1.0) return 0;
+    // Two buckets per octave: resolution ~ +/-19%.
+    const int b = static_cast<int>(2.0 * std::log2(x));
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+  static double bucketMid(int b) noexcept {
+    return std::exp2((static_cast<double>(b) + 0.5) / 2.0);
+  }
+
+  RunningStat stat_;
+  RunningStat batchMeans_;
+  std::uint64_t hist_[kBuckets] = {};
+  double batchSum_ = 0.0;
+  std::uint64_t batchCount_ = 0;
+};
+
+/// Aggregate result of one simulation run.
+struct SimResult {
+  // Latency over measured (post-warm-up) delivered messages, in cycles, from
+  // generation to the last data flit reaching the destination PE.
+  double meanLatency = 0.0;
+  double latencyStddev = 0.0;
+  double maxLatency = 0.0;
+  double latencyP50 = 0.0;   // histogram-resolution percentiles
+  double latencyP95 = 0.0;
+  double latencyP99 = 0.0;
+  double latencyCi95 = 0.0;  // 95% CI half-width on the mean (batch means)
+  double meanHops = 0.0;
+
+  std::uint64_t cycles = 0;
+  std::uint64_t generatedTotal = 0;
+  std::uint64_t deliveredTotal = 0;
+  std::uint64_t deliveredMeasured = 0;
+
+  // Messages/node/cycle delivered during the measurement window.
+  double throughput = 0.0;
+  // Offered load for reference (the configured lambda).
+  double offeredLoad = 0.0;
+
+  // Software-based routing counters.
+  std::uint64_t messagesQueued = 0;    // absorption events (Fig. 7 metric)
+  std::uint64_t absorbedMessages = 0;  // distinct messages absorbed >= once
+  std::uint64_t reversals = 0;
+  std::uint64_t detours = 0;
+  std::uint64_t escalations = 0;
+
+  // Health flags.
+  bool saturated = false;          // could not sustain the offered load
+  bool deadlockSuspected = false;  // watchdog fired (must never happen)
+  bool completed = false;          // reached the measured-message target
+};
+
+}  // namespace swft

@@ -1,0 +1,50 @@
+#include "src/topology/coordinates.hpp"
+
+#include <stdexcept>
+
+namespace swft {
+
+std::string Coordinates::str() const {
+  std::string out = "(";
+  for (int d = 0; d < dims(); ++d) {
+    if (d) out += ',';
+    out += std::to_string((*this)[d]);
+  }
+  out += ')';
+  return out;
+}
+
+AddressSpace::AddressSpace(int radix, int dims) : radix_(radix), dims_(dims) {
+  if (radix < 2) throw std::invalid_argument("AddressSpace: radix must be >= 2");
+  if (dims < 1 || dims > kMaxDims) {
+    throw std::invalid_argument("AddressSpace: dims out of range");
+  }
+  std::uint64_t count = 1;
+  for (int d = 0; d < dims; ++d) {
+    count *= static_cast<std::uint64_t>(radix);
+    if (count > 1u << 24) {
+      throw std::invalid_argument("AddressSpace: network too large (> 2^24 nodes)");
+    }
+  }
+  count_ = static_cast<NodeId>(count);
+}
+
+Coordinates AddressSpace::coordsOf(NodeId id) const noexcept {
+  Coordinates c;
+  c.digit.resize(static_cast<std::size_t>(dims_));
+  for (int d = 0; d < dims_; ++d) {
+    c[d] = static_cast<std::int16_t>(id % static_cast<NodeId>(radix_));
+    id /= static_cast<NodeId>(radix_);
+  }
+  return c;
+}
+
+NodeId AddressSpace::idOf(const Coordinates& c) const noexcept {
+  NodeId id = 0;
+  for (int d = dims_ - 1; d >= 0; --d) {
+    id = id * static_cast<NodeId>(radix_) + static_cast<NodeId>(c[d]);
+  }
+  return id;
+}
+
+}  // namespace swft

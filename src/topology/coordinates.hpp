@@ -1,0 +1,62 @@
+// Node addressing for k-ary n-cube networks.
+//
+// A node has an n-digit radix-k address {a_{n-1}, ..., a_0}; we store digits
+// little-endian (digit 0 = dimension 0). Dimension count is bounded by
+// kMaxDims, which covers every topology in the paper (n <= 3) with headroom
+// for the dimensionality-scaling experiments (n <= 6 exercised in tests).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/util/inline_vector.hpp"
+
+namespace swft {
+
+inline constexpr int kMaxDims = 8;
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Little-endian radix-k digit vector.
+struct Coordinates {
+  InlineVector<std::int16_t, kMaxDims> digit;
+
+  [[nodiscard]] int dims() const noexcept { return static_cast<int>(digit.size()); }
+  std::int16_t& operator[](int d) noexcept { return digit[static_cast<std::size_t>(d)]; }
+  std::int16_t operator[](int d) const noexcept { return digit[static_cast<std::size_t>(d)]; }
+
+  friend bool operator==(const Coordinates& a, const Coordinates& b) noexcept {
+    return a.digit == b.digit;
+  }
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Converts between linear NodeIds and Coordinates for a fixed (k, n).
+class AddressSpace {
+ public:
+  AddressSpace(int radix, int dims);
+
+  [[nodiscard]] int radix() const noexcept { return radix_; }
+  [[nodiscard]] int dims() const noexcept { return dims_; }
+  [[nodiscard]] NodeId nodeCount() const noexcept { return count_; }
+
+  [[nodiscard]] Coordinates coordsOf(NodeId id) const noexcept;
+  [[nodiscard]] NodeId idOf(const Coordinates& c) const noexcept;
+
+  /// Wrap a (possibly out-of-range) digit into [0, k).
+  [[nodiscard]] std::int16_t wrap(int digit) const noexcept {
+    int k = radix_;
+    int m = digit % k;
+    return static_cast<std::int16_t>(m < 0 ? m + k : m);
+  }
+
+ private:
+  int radix_;
+  int dims_;
+  NodeId count_;
+};
+
+}  // namespace swft

@@ -1,0 +1,49 @@
+#include "src/topology/torus.hpp"
+
+#include <cstdlib>
+
+namespace swft {
+
+TorusTopology::TorusTopology(int radix, int dims) : space_(radix, dims) {}
+
+NodeId TorusTopology::neighbor(NodeId id, int dim, Dir dir) const noexcept {
+  Coordinates c = coordsOf(id);
+  c[dim] = space_.wrap(c[dim] + dirStep(dir));
+  return idOf(c);
+}
+
+bool TorusTopology::isWrapLink(NodeId id, int dim, Dir dir) const noexcept {
+  const Coordinates c = coordsOf(id);
+  if (dir == Dir::Pos) return c[dim] == radix() - 1;
+  return c[dim] == 0;
+}
+
+int TorusTopology::minimalOffset(std::int16_t from, std::int16_t to) const noexcept {
+  const int k = radix();
+  int off = (to - from) % k;
+  if (off < 0) off += k;           // now in [0, k)
+  if (off > k / 2) off -= k;       // fold to (-k/2, k/2]
+  if (off == k / 2 && k % 2 == 0) {
+    // |off| == k/2: both directions minimal; canonicalise to positive.
+    off = k / 2;
+  }
+  return off;
+}
+
+int TorusTopology::ringDistance(std::int16_t from, std::int16_t to, Dir dir) const noexcept {
+  const int k = radix();
+  int d = (dir == Dir::Pos) ? (to - from) : (from - to);
+  d %= k;
+  if (d < 0) d += k;
+  return d;
+}
+
+int TorusTopology::distance(NodeId a, NodeId b) const noexcept {
+  const Coordinates ca = coordsOf(a);
+  const Coordinates cb = coordsOf(b);
+  int total = 0;
+  for (int d = 0; d < dims(); ++d) total += std::abs(minimalOffset(ca[d], cb[d]));
+  return total;
+}
+
+}  // namespace swft

@@ -1,0 +1,66 @@
+#include "src/traffic/patterns.hpp"
+
+namespace swft {
+
+std::string_view trafficPatternName(TrafficPattern p) noexcept {
+  switch (p) {
+    case TrafficPattern::Uniform: return "uniform";
+    case TrafficPattern::Transpose: return "transpose";
+    case TrafficPattern::BitComplement: return "bit-complement";
+    case TrafficPattern::Hotspot: return "hotspot";
+  }
+  return "?";
+}
+
+TrafficGenerator::TrafficGenerator(TrafficPattern pattern, const FaultSet& faults,
+                                   double hotspotFraction)
+    : pattern_(pattern),
+      faults_(&faults),
+      healthy_(faults.healthyNodes()),
+      hotspotFraction_(hotspotFraction) {
+  if (!healthy_.empty()) hotspot_ = healthy_[healthy_.size() / 2];
+}
+
+NodeId TrafficGenerator::pickDestination(NodeId src, Rng& rng) const {
+  const TorusTopology& topo = faults_->topology();
+  switch (pattern_) {
+    case TrafficPattern::Uniform: {
+      if (healthy_.size() < 2) return kInvalidNode;
+      for (;;) {
+        const NodeId d = healthy_[rng.uniform(static_cast<std::uint32_t>(healthy_.size()))];
+        if (d != src) return d;
+      }
+    }
+    case TrafficPattern::Transpose: {
+      Coordinates c = topo.coordsOf(src);
+      Coordinates t = c;
+      for (int d = 0; d < topo.dims(); ++d) t[d] = c[(d + 1) % topo.dims()];
+      const NodeId dest = topo.idOf(t);
+      if (dest == src || faults_->nodeFaulty(dest)) return kInvalidNode;
+      return dest;
+    }
+    case TrafficPattern::BitComplement: {
+      Coordinates c = topo.coordsOf(src);
+      for (int d = 0; d < topo.dims(); ++d) {
+        c[d] = static_cast<std::int16_t>(topo.radix() - 1 - c[d]);
+      }
+      const NodeId dest = topo.idOf(c);
+      if (dest == src || faults_->nodeFaulty(dest)) return kInvalidNode;
+      return dest;
+    }
+    case TrafficPattern::Hotspot: {
+      if (hotspot_ != src && !faults_->nodeFaulty(hotspot_) &&
+          rng.uniform01() < hotspotFraction_) {
+        return hotspot_;
+      }
+      if (healthy_.size() < 2) return kInvalidNode;
+      for (;;) {
+        const NodeId d = healthy_[rng.uniform(static_cast<std::uint32_t>(healthy_.size()))];
+        if (d != src) return d;
+      }
+    }
+  }
+  return kInvalidNode;
+}
+
+}  // namespace swft

@@ -1,0 +1,40 @@
+// Traffic patterns. The paper evaluates uniform random traffic (assumption
+// (a)); the classical permutations are provided as extensions and exercised
+// by tests and the ablation benches.
+#pragma once
+
+#include <string_view>
+
+#include "src/fault/fault_set.hpp"
+#include "src/util/rng.hpp"
+
+namespace swft {
+
+enum class TrafficPattern : std::uint8_t {
+  Uniform,        // destination uniform over healthy nodes != src
+  Transpose,      // (x, y, ...) -> digits rotated by one dimension
+  BitComplement,  // digit a -> k-1-a in every dimension
+  Hotspot,        // uniform, but a fraction of traffic targets one node
+};
+
+[[nodiscard]] std::string_view trafficPatternName(TrafficPattern p) noexcept;
+
+/// Destination chooser. Deterministic permutations returning the source
+/// itself or a faulty node yield kInvalidNode (the PE skips that message),
+/// mirroring the convention that faulty PEs neither send nor receive.
+class TrafficGenerator {
+ public:
+  TrafficGenerator(TrafficPattern pattern, const FaultSet& faults, double hotspotFraction = 0.1);
+
+  [[nodiscard]] NodeId pickDestination(NodeId src, Rng& rng) const;
+  [[nodiscard]] TrafficPattern pattern() const noexcept { return pattern_; }
+
+ private:
+  TrafficPattern pattern_;
+  const FaultSet* faults_;
+  std::vector<NodeId> healthy_;
+  NodeId hotspot_ = kInvalidNode;
+  double hotspotFraction_;
+};
+
+}  // namespace swft

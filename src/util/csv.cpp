@@ -1,0 +1,51 @@
+#include "src/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace swft {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::addRow(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("CsvWriter: row width does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needsQuoting = cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needsQuoting) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::str() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out += ',';
+    out += escape(header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += escape(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void CsvWriter::writeFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvWriter: cannot open " + path);
+  f << str();
+}
+
+}  // namespace swft

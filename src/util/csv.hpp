@@ -1,0 +1,49 @@
+// Minimal CSV emitter used by the benchmark harness to dump experiment rows
+// in a form that plots directly (one row per sweep point).
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swft {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append one row; the number of cells must match the header.
+  void addRow(std::vector<std::string> cells);
+
+  template <typename... Ts>
+  void addRowOf(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(Ts));
+    (cells.push_back(toCell(values)), ...);
+    addRow(std::move(cells));
+  }
+
+  [[nodiscard]] std::string str() const;
+  void writeFile(const std::string& path) const;
+  [[nodiscard]] std::size_t rowCount() const noexcept { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string toCell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  static std::string escape(std::string_view cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swft

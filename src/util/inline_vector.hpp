@@ -1,0 +1,76 @@
+// A fixed-capacity vector that lives entirely on the stack.
+//
+// Routing candidate lists, coordinates and per-router scratch arrays are tiny
+// (bounded by 2*n+1 ports or kMaxDims dimensions); using a heap-backed
+// std::vector in the per-cycle hot path would dominate the simulation cost.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+namespace swft {
+
+template <typename T, std::size_t Capacity>
+class InlineVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVector is intended for small trivially copyable types");
+
+ public:
+  using value_type = T;
+
+  constexpr InlineVector() noexcept = default;
+  constexpr InlineVector(std::initializer_list<T> init) noexcept {
+    assert(init.size() <= Capacity);
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  constexpr void push_back(const T& v) noexcept {
+    assert(size_ < Capacity);
+    data_[size_++] = v;
+  }
+  constexpr void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+  constexpr void clear() noexcept { size_ = 0; }
+  constexpr void resize(std::size_t n, T fill = T{}) noexcept {
+    assert(n <= Capacity);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+  constexpr T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr T& back() noexcept { return (*this)[size_ - 1]; }
+  constexpr const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  constexpr T* begin() noexcept { return data_; }
+  constexpr T* end() noexcept { return data_ + size_; }
+  constexpr const T* begin() const noexcept { return data_; }
+  constexpr const T* end() const noexcept { return data_ + size_; }
+
+  friend constexpr bool operator==(const InlineVector& a, const InlineVector& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (!(a.data_[i] == b.data_[i])) return false;
+    return true;
+  }
+
+ private:
+  T data_[Capacity]{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace swft

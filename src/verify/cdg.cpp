@@ -1,0 +1,94 @@
+#include "src/verify/cdg.hpp"
+
+#include <algorithm>
+
+namespace swft {
+
+ChannelDependencyGraph::ChannelDependencyGraph(const TorusTopology& topo, int classes)
+    : topo_(&topo), classes_(classes) {
+  adjacency_.resize(static_cast<std::size_t>(topo.nodeCount()) *
+                    static_cast<std::size_t>(topo.networkPorts()) *
+                    static_cast<std::size_t>(classes));
+}
+
+std::size_t ChannelDependencyGraph::indexOf(const ChannelClass& c) const noexcept {
+  return (static_cast<std::size_t>(c.node) * static_cast<std::size_t>(topo_->networkPorts()) +
+          c.port) *
+             static_cast<std::size_t>(classes_) +
+         c.vcClass;
+}
+
+std::size_t ChannelDependencyGraph::edgeCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& adj : adjacency_) n += adj.size();
+  return n;
+}
+
+void ChannelDependencyGraph::addDependency(const ChannelClass& from, const ChannelClass& to) {
+  auto& adj = adjacency_[indexOf(from)];
+  const auto v = static_cast<std::uint32_t>(indexOf(to));
+  if (std::find(adj.begin(), adj.end(), v) == adj.end()) adj.push_back(v);
+}
+
+bool ChannelDependencyGraph::hasCycle() const {
+  // Iterative three-colour DFS.
+  enum : std::uint8_t { White, Grey, Black };
+  std::vector<std::uint8_t> colour(adjacency_.size(), White);
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  for (std::uint32_t root = 0; root < adjacency_.size(); ++root) {
+    if (colour[root] != White) continue;
+    stack.emplace_back(root, 0);
+    colour[root] = Grey;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      if (next < adjacency_[v].size()) {
+        const std::uint32_t u = adjacency_[v][next++];
+        if (colour[u] == Grey) return true;
+        if (colour[u] == White) {
+          colour[u] = Grey;
+          stack.emplace_back(u, 0);
+        }
+      } else {
+        colour[v] = Black;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+ChannelDependencyGraph buildEcubeCdg(const TorusTopology& topo, const FaultSet& faults,
+                                     bool wrapClasses) {
+  ChannelDependencyGraph cdg(topo, 2);
+  EcubeRouting ecube(topo);
+  const auto healthy = faults.healthyNodes();
+  for (NodeId src : healthy) {
+    for (NodeId dst : healthy) {
+      if (src == dst) continue;
+      Message probe;
+      probe.curTarget = dst;
+      probe.finalDest = dst;
+      NodeId at = src;
+      bool havePrev = false;
+      ChannelClass prev;
+      std::uint8_t wrapped = 0;
+      while (auto hop = ecube.nextHop(probe, at)) {
+        ChannelClass cur;
+        cur.node = at;
+        cur.port = static_cast<std::uint8_t>(portOf(hop->dim, hop->dir));
+        const bool w = wrapClasses && ((wrapped >> hop->dim) & 1u);
+        cur.vcClass = w ? 1 : 0;
+        if (havePrev) cdg.addDependency(prev, cur);
+        if (topo.isWrapLink(at, hop->dim, hop->dir)) {
+          wrapped |= static_cast<std::uint8_t>(1u << hop->dim);
+        }
+        at = topo.neighbor(at, hop->dim, hop->dir);
+        prev = cur;
+        havePrev = true;
+      }
+    }
+  }
+  return cdg;
+}
+
+}  // namespace swft

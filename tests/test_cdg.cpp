@@ -1,0 +1,131 @@
+// Mechanized deadlock-freedom evidence (paper §4 "Deadlock freedom").
+#include "src/verify/cdg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/fault/regions.hpp"
+
+namespace swft {
+namespace {
+
+struct KnParam {
+  int k;
+  int n;
+};
+
+class CdgAcyclicity : public ::testing::TestWithParam<KnParam> {};
+
+TEST_P(CdgAcyclicity, EcubeWithWrapClassesIsAcyclic) {
+  const auto [k, n] = GetParam();
+  const TorusTopology topo(k, n);
+  const FaultSet faults(topo);
+  const auto cdg = buildEcubeCdg(topo, faults, /*wrapClasses=*/true);
+  EXPECT_GT(cdg.edgeCount(), 0u);
+  EXPECT_FALSE(cdg.hasCycle())
+      << "Dally-Seitz class split must break all ring cycles";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, CdgAcyclicity,
+                         ::testing::Values(KnParam{3, 2}, KnParam{4, 2}, KnParam{5, 2},
+                                           KnParam{6, 2}, KnParam{8, 2}, KnParam{4, 3},
+                                           KnParam{5, 3}, KnParam{3, 4}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "n" +
+                                  std::to_string(info.param.n);
+                         });
+
+class CdgNegativeControl : public ::testing::TestWithParam<KnParam> {};
+
+TEST_P(CdgNegativeControl, CollapsingClassesReintroducesRingCycles) {
+  // For k >= 4 the union of minimal paths covers every ring segment, so a
+  // single-class torus CDG must contain a cycle — the very hazard the wrap
+  // classes exist to break.
+  const auto [k, n] = GetParam();
+  const TorusTopology topo(k, n);
+  const FaultSet faults(topo);
+  const auto cdg = buildEcubeCdg(topo, faults, /*wrapClasses=*/false);
+  EXPECT_TRUE(cdg.hasCycle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, CdgNegativeControl,
+                         ::testing::Values(KnParam{4, 1}, KnParam{4, 2}, KnParam{8, 2},
+                                           KnParam{6, 2}, KnParam{4, 3}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(Cdg, TinyRingWithoutLongPathsIsAcyclicEvenUnclassed) {
+  // k=3: minimal paths are single hops per direction, so no two consecutive
+  // same-direction ring hops exist and no cycle can close.
+  const TorusTopology topo(3, 2);
+  const FaultSet faults(topo);
+  const auto cdg = buildEcubeCdg(topo, faults, false);
+  EXPECT_FALSE(cdg.hasCycle());
+}
+
+TEST(Cdg, FaultsOnlyRemoveDependencies) {
+  const TorusTopology topo(5, 2);
+  FaultSet faults(topo);
+  const auto full = buildEcubeCdg(topo, faults, true);
+  faults.failNode(12);
+  const auto reduced = buildEcubeCdg(topo, faults, true);
+  EXPECT_LT(reduced.edgeCount(), full.edgeCount());
+  EXPECT_FALSE(reduced.hasCycle());
+}
+
+TEST(Cdg, PaperFaultRegionsPreserveAcyclicity) {
+  // The e-cube sub-function restricted by any Fig. 5 region stays acyclic:
+  // faults only remove paths, never add dependencies.
+  const TorusTopology topo(8, 2);
+  for (const RegionSpec& spec : {fig5Rect20(topo), fig5T10(topo), fig5Plus16(topo),
+                                 fig5L9(topo), fig5U8(topo)}) {
+    FaultSet faults(topo);
+    applyRegion(faults, spec);
+    const auto cdg = buildEcubeCdg(topo, faults, true);
+    EXPECT_FALSE(cdg.hasCycle()) << regionShapeName(spec.shape);
+  }
+}
+
+TEST(Cdg, ManualCycleDetection) {
+  const TorusTopology topo(4, 1);
+  ChannelDependencyGraph cdg(topo, 2);
+  const ChannelClass a{0, 0, 0};
+  const ChannelClass b{1, 0, 0};
+  const ChannelClass c{2, 0, 0};
+  cdg.addDependency(a, b);
+  cdg.addDependency(b, c);
+  EXPECT_FALSE(cdg.hasCycle());
+  cdg.addDependency(c, a);
+  EXPECT_TRUE(cdg.hasCycle());
+}
+
+TEST(Cdg, DuplicateEdgesNotDoubleCounted) {
+  const TorusTopology topo(4, 1);
+  ChannelDependencyGraph cdg(topo, 2);
+  const ChannelClass a{0, 0, 0};
+  const ChannelClass b{1, 0, 0};
+  cdg.addDependency(a, b);
+  cdg.addDependency(a, b);
+  EXPECT_EQ(cdg.edgeCount(), 1u);
+}
+
+TEST(Cdg, VertexIndexingIsBijective) {
+  const TorusTopology topo(4, 2);
+  const ChannelDependencyGraph cdg(topo, 2);
+  std::vector<bool> seen(cdg.vertexCount(), false);
+  for (NodeId node = 0; node < topo.nodeCount(); ++node) {
+    for (int port = 0; port < topo.networkPorts(); ++port) {
+      for (std::uint8_t cls = 0; cls < 2; ++cls) {
+        const auto idx = cdg.indexOf(
+            ChannelClass{node, static_cast<std::uint8_t>(port), cls});
+        ASSERT_LT(idx, seen.size());
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swft

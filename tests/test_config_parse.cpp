@@ -1,0 +1,117 @@
+#include "src/sim/config_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+namespace {
+
+SimConfig parse(std::initializer_list<std::string> args) {
+  const std::vector<std::string> v(args);
+  return parseConfig(v);
+}
+
+TEST(ConfigParse, EmptyKeepsDefaults) {
+  const SimConfig cfg = parse({});
+  const SimConfig def;
+  EXPECT_EQ(cfg.radix, def.radix);
+  EXPECT_EQ(cfg.vcs, def.vcs);
+  EXPECT_EQ(cfg.injectionRate, def.injectionRate);
+}
+
+TEST(ConfigParse, ScalarKeys) {
+  const SimConfig cfg = parse({"k=16", "n=3", "vcs=10", "buffer_depth=8",
+                               "msg_length=64", "rate=0.0125", "delta=32", "td=1",
+                               "nf=7", "warmup=123", "measured=456", "max_cycles=789",
+                               "seed=42", "livelock_threshold=17", "escape_vcs=4"});
+  EXPECT_EQ(cfg.radix, 16);
+  EXPECT_EQ(cfg.dims, 3);
+  EXPECT_EQ(cfg.vcs, 10);
+  EXPECT_EQ(cfg.bufferDepth, 8);
+  EXPECT_EQ(cfg.messageLength, 64);
+  EXPECT_DOUBLE_EQ(cfg.injectionRate, 0.0125);
+  EXPECT_EQ(cfg.reinjectDelay, 32);
+  EXPECT_EQ(cfg.routerDecisionTime, 1);
+  EXPECT_EQ(cfg.faults.randomNodes, 7);
+  EXPECT_EQ(cfg.warmupMessages, 123u);
+  EXPECT_EQ(cfg.measuredMessages, 456u);
+  EXPECT_EQ(cfg.maxCycles, 789u);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.livelockThreshold, 17);
+  EXPECT_EQ(cfg.escapeVcs, 4);
+}
+
+TEST(ConfigParse, RoutingAndPatternEnums) {
+  EXPECT_EQ(parse({"routing=adaptive"}).routing, RoutingMode::Adaptive);
+  EXPECT_EQ(parse({"routing=adp"}).routing, RoutingMode::Adaptive);
+  EXPECT_EQ(parse({"routing=det"}).routing, RoutingMode::Deterministic);
+  EXPECT_EQ(parse({"pattern=transpose"}).pattern, TrafficPattern::Transpose);
+  EXPECT_EQ(parse({"pattern=bitcomp"}).pattern, TrafficPattern::BitComplement);
+  EXPECT_EQ(parse({"pattern=hotspot"}).pattern, TrafficPattern::Hotspot);
+}
+
+TEST(ConfigParse, RegionWithAnchor) {
+  const SimConfig cfg = parse({"k=8", "n=2", "region=U:4x3@2,5"});
+  ASSERT_EQ(cfg.faults.regions.size(), 1u);
+  const RegionSpec& r = cfg.faults.regions[0];
+  EXPECT_EQ(r.shape, RegionShape::U);
+  EXPECT_EQ(r.extent0, 4);
+  EXPECT_EQ(r.extent1, 3);
+  EXPECT_EQ(r.anchor[0], 2);
+  EXPECT_EQ(r.anchor[1], 5);
+}
+
+TEST(ConfigParse, RegionWithoutAnchorDefaultsInside) {
+  const SimConfig cfg = parse({"region=rect:3x3"});
+  ASSERT_EQ(cfg.faults.regions.size(), 1u);
+  EXPECT_EQ(cfg.faults.regions[0].anchor[0], 1);
+}
+
+TEST(ConfigParse, RegionsAccumulate) {
+  const SimConfig cfg = parse({"region=rect:2x2", "region=L:3x3@4,4"});
+  EXPECT_EQ(cfg.faults.regions.size(), 2u);
+}
+
+TEST(ConfigParse, AllShapeNames) {
+  for (const char* s : {"I", "II", "rect", "L", "U", "plus", "T", "H"}) {
+    EXPECT_NO_THROW(parse({std::string("region=") + s + ":3x3"})) << s;
+  }
+}
+
+TEST(ConfigParse, DimsOrderIndependence) {
+  // `region` uses cfg.dims for the anchor; n must apply regardless of order
+  // because the anchor is re-checked at network construction.
+  const SimConfig cfg = parse({"n=3", "region=rect:2x2"});
+  EXPECT_EQ(cfg.faults.regions[0].anchor.dims(), 3);
+}
+
+TEST(ConfigParse, Errors) {
+  EXPECT_THROW(parse({"bogus=1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"k"}), std::invalid_argument);
+  EXPECT_THROW(parse({"k=abc"}), std::invalid_argument);
+  EXPECT_THROW(parse({"rate=fast"}), std::invalid_argument);
+  EXPECT_THROW(parse({"routing=zigzag"}), std::invalid_argument);
+  EXPECT_THROW(parse({"pattern=worst"}), std::invalid_argument);
+  EXPECT_THROW(parse({"region=blob:3x3"}), std::invalid_argument);
+  EXPECT_THROW(parse({"region=rect"}), std::invalid_argument);
+  EXPECT_THROW(parse({"region=rect:3"}), std::invalid_argument);
+}
+
+TEST(ConfigParse, DescribeMentionsKeyFacts) {
+  const SimConfig cfg = parse({"k=8", "n=3", "routing=adaptive", "nf=12"});
+  const std::string desc = describeConfig(cfg);
+  EXPECT_NE(desc.find("8-ary 3-cube"), std::string::npos);
+  EXPECT_NE(desc.find("adaptive"), std::string::npos);
+  EXPECT_NE(desc.find("nf=12"), std::string::npos);
+}
+
+TEST(ConfigParse, ParsedConfigRunsEndToEnd) {
+  SimConfig cfg = parse({"k=4", "n=2", "vcs=2", "msg_length=4", "rate=0.01",
+                         "warmup=50", "measured=300", "seed=3"});
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,76 @@
+#include "src/fault/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+TEST(Connectivity, FaultFreeNetworkIsConnected) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);
+  EXPECT_TRUE(healthyNetworkConnected(faults));
+  EXPECT_EQ(healthyComponentCount(faults), 1);
+  EXPECT_EQ(componentSize(faults, 0), topo.nodeCount());
+}
+
+TEST(Connectivity, SingleFaultKeepsTorusConnected) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(0);
+  EXPECT_TRUE(healthyNetworkConnected(faults));
+  EXPECT_EQ(componentSize(faults, 1), topo.nodeCount() - 1);
+}
+
+TEST(Connectivity, IsolatedHealthyNodeSplitsNetwork) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  // Fail all four neighbours of node (4,4): the node survives but is cut off.
+  Coordinates c;
+  c.digit.resize(2);
+  c[0] = 4;
+  c[1] = 4;
+  const NodeId centre = topo.idOf(c);
+  for (int port = 0; port < topo.networkPorts(); ++port) {
+    faults.failNode(topo.neighbor(centre, port));
+  }
+  EXPECT_FALSE(faults.nodeFaulty(centre));
+  EXPECT_FALSE(healthyNetworkConnected(faults));
+  EXPECT_EQ(healthyComponentCount(faults), 2);
+  EXPECT_EQ(componentSize(faults, centre), 1u);
+}
+
+TEST(Connectivity, LinkCutOnRingDisconnectsOnlyWithTwoCuts) {
+  // 1-D ring: one failed link leaves a path; two failed links split it.
+  const TorusTopology topo(8, 1);
+  FaultSet faults(topo);
+  faults.failLink(0, 0, Dir::Pos);
+  EXPECT_TRUE(healthyNetworkConnected(faults));
+  faults.failLink(4, 0, Dir::Pos);
+  EXPECT_FALSE(healthyNetworkConnected(faults));
+  EXPECT_EQ(healthyComponentCount(faults), 2);
+}
+
+TEST(Connectivity, ComponentSizeOfFaultyNodeIsZero) {
+  const TorusTopology topo(4, 2);
+  FaultSet faults(topo);
+  faults.failNode(3);
+  EXPECT_EQ(componentSize(faults, 3), 0u);
+}
+
+TEST(Connectivity, FullColumnFaultIn2DTorusStaysConnected) {
+  // A full column of faults in a 2-D torus leaves a connected cylinder.
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  for (int y = 0; y < 8; ++y) {
+    Coordinates c;
+    c.digit.resize(2);
+    c[0] = 3;
+    c[1] = static_cast<std::int16_t>(y);
+    faults.failNode(topo.idOf(c));
+  }
+  EXPECT_TRUE(healthyNetworkConnected(faults));
+  EXPECT_EQ(componentSize(faults, 0), topo.nodeCount() - 8);
+}
+
+}  // namespace
+}  // namespace swft

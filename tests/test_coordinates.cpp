@@ -1,0 +1,77 @@
+#include "src/topology/coordinates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+struct KnParam {
+  int k;
+  int n;
+};
+
+class AddressSpaceRoundTrip : public ::testing::TestWithParam<KnParam> {};
+
+TEST_P(AddressSpaceRoundTrip, IdToCoordsAndBack) {
+  const auto [k, n] = GetParam();
+  const AddressSpace space(k, n);
+  NodeId expected = 1;
+  for (int d = 0; d < n; ++d) expected *= static_cast<NodeId>(k);
+  ASSERT_EQ(space.nodeCount(), expected);
+  for (NodeId id = 0; id < space.nodeCount(); ++id) {
+    const Coordinates c = space.coordsOf(id);
+    ASSERT_EQ(c.dims(), n);
+    for (int d = 0; d < n; ++d) {
+      ASSERT_GE(c[d], 0);
+      ASSERT_LT(c[d], k);
+    }
+    ASSERT_EQ(space.idOf(c), id);
+  }
+}
+
+TEST_P(AddressSpaceRoundTrip, DigitZeroIsLowestDimension) {
+  const auto [k, n] = GetParam();
+  const AddressSpace space(k, n);
+  const Coordinates c1 = space.coordsOf(1);
+  EXPECT_EQ(c1[0], 1);
+  for (int d = 1; d < n; ++d) EXPECT_EQ(c1[d], 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, AddressSpaceRoundTrip,
+                         ::testing::Values(KnParam{2, 1}, KnParam{2, 4}, KnParam{3, 2},
+                                           KnParam{4, 3}, KnParam{5, 2}, KnParam{8, 2},
+                                           KnParam{8, 3}, KnParam{16, 2}, KnParam{3, 5},
+                                           KnParam{2, 8}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.k) + "n" +
+                                  std::to_string(info.param.n);
+                         });
+
+TEST(AddressSpace, WrapNormalisesIntoRange) {
+  const AddressSpace space(8, 2);
+  EXPECT_EQ(space.wrap(8), 0);
+  EXPECT_EQ(space.wrap(-1), 7);
+  EXPECT_EQ(space.wrap(15), 7);
+  EXPECT_EQ(space.wrap(-9), 7);
+  EXPECT_EQ(space.wrap(3), 3);
+}
+
+TEST(AddressSpace, RejectsBadParameters) {
+  EXPECT_THROW(AddressSpace(1, 2), std::invalid_argument);
+  EXPECT_THROW(AddressSpace(8, 0), std::invalid_argument);
+  EXPECT_THROW(AddressSpace(8, kMaxDims + 1), std::invalid_argument);
+  EXPECT_THROW(AddressSpace(4096, 8), std::invalid_argument);  // > 2^24 nodes
+}
+
+TEST(Coordinates, EqualityAndString) {
+  const AddressSpace space(4, 3);
+  const Coordinates a = space.coordsOf(11);
+  const Coordinates b = space.coordsOf(11);
+  const Coordinates c = space.coordsOf(12);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.str(), "(3,2,0)");  // 11 = 3 + 2*4
+}
+
+}  // namespace
+}  // namespace swft

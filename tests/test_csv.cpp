@@ -1,0 +1,55 @@
+#include "src/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace swft {
+namespace {
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.str(), "a,b\n");
+  EXPECT_EQ(csv.rowCount(), 0u);
+}
+
+TEST(Csv, RowsAppendInOrder) {
+  CsvWriter csv({"x", "y"});
+  csv.addRow({"1", "2"});
+  csv.addRow({"3", "4"});
+  EXPECT_EQ(csv.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Csv, AddRowOfMixedTypes) {
+  CsvWriter csv({"name", "count", "rate"});
+  csv.addRowOf("uniform", 42, 0.5);
+  EXPECT_EQ(csv.str(), "name,count,rate\nuniform,42,0.5\n");
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter csv({"v"});
+  csv.addRow({"has,comma"});
+  csv.addRow({"has\"quote"});
+  EXPECT_EQ(csv.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  const std::string path = std::filesystem::temp_directory_path() / "swft_csv_test.csv";
+  CsvWriter csv({"a"});
+  csv.addRow({"1"});
+  csv.writeFile(path);
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a\n1\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,133 @@
+#include "src/routing/duato.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+NodeId at(const TorusTopology& topo, std::initializer_list<int> digits) {
+  Coordinates c;
+  c.digit.resize(digits.size());
+  int i = 0;
+  for (int d : digits) c[i++] = static_cast<std::int16_t>(d);
+  return topo.idOf(c);
+}
+
+Message adaptiveMsgTo(NodeId dest) {
+  Message m;
+  m.finalDest = dest;
+  m.curTarget = dest;
+  m.mode = RoutingMode::Adaptive;
+  return m;
+}
+
+TEST(Duato, ProfitableHopsAreExactlyUnmatchedDims) {
+  const TorusTopology topo(8, 3);
+  const DuatoRouting duato(topo);
+  const Message m = adaptiveMsgTo(at(topo, {3, 1, 5}));
+  const auto hops = duato.profitableHops(m, at(topo, {1, 1, 7}));
+  ASSERT_EQ(hops.size(), 2u);  // dims 0 and 2 unmatched
+  EXPECT_EQ(hops[0].dim, 0);
+  EXPECT_EQ(hops[0].dir, Dir::Pos);   // 1 -> 3 minimal +
+  EXPECT_EQ(hops[1].dim, 2);
+  EXPECT_EQ(hops[1].dir, Dir::Neg);   // 7 -> 5 minimal -
+}
+
+TEST(Duato, DeliversAtTarget) {
+  const TorusTopology topo(8, 2);
+  const DuatoRouting duato(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Adaptive, 4);
+  const Message m = adaptiveMsgTo(9);
+  EXPECT_EQ(duato.route(m, 9, faults, part).kind, RouteDecision::Kind::Deliver);
+}
+
+TEST(Duato, OffersAdaptiveCandidatesPlusEscape) {
+  const TorusTopology topo(8, 2);
+  const DuatoRouting duato(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Adaptive, 4);
+  const Message m = adaptiveMsgTo(at(topo, {3, 3}));
+  const RouteDecision d = duato.route(m, at(topo, {1, 1}), faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Forward);
+  // 2 adaptive candidates (dims 0 and 1) + 1 escape (lowest dim, class 0).
+  ASSERT_EQ(d.candidates.size(), 3u);
+  EXPECT_EQ(d.candidates[0].vcs, part.adaptiveMask());
+  EXPECT_EQ(d.candidates[1].vcs, part.adaptiveMask());
+  EXPECT_EQ(d.candidates[2].outPort, portOf(0, Dir::Pos)) << "escape follows e-cube";
+  EXPECT_EQ(d.candidates[2].vcs, part.escapeMask(0));
+}
+
+TEST(Duato, EscapeClassFollowsWrapFlag) {
+  const TorusTopology topo(8, 2);
+  const DuatoRouting duato(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Adaptive, 6);
+  Message m = adaptiveMsgTo(at(topo, {3, 0}));
+  m.setWrapped(0);
+  const RouteDecision d = duato.route(m, at(topo, {1, 0}), faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Forward);
+  EXPECT_EQ(d.candidates.back().vcs, part.escapeMask(1));
+}
+
+TEST(Duato, RoutesAroundSingleFaultWithoutAbsorbing) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const DuatoRouting duato(topo);
+  const VcPartition part(RoutingMode::Adaptive, 4);
+  const NodeId cur = at(topo, {1, 1});
+  const Message m = adaptiveMsgTo(at(topo, {3, 3}));
+  faults.failNode(at(topo, {2, 1}));  // blocks the +x profitable hop
+  const RouteDecision d = duato.route(m, cur, faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Forward) << "the +y hop is still profitable";
+  for (const auto& cand : d.candidates) {
+    EXPECT_EQ(cand.outPort, portOf(1, Dir::Pos));
+  }
+}
+
+TEST(Duato, AbsorbsOnlyWhenAllProfitableHopsFaulty) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const DuatoRouting duato(topo);
+  const VcPartition part(RoutingMode::Adaptive, 4);
+  const NodeId cur = at(topo, {1, 1});
+  const Message m = adaptiveMsgTo(at(topo, {3, 3}));
+  faults.failNode(at(topo, {2, 1}));
+  faults.failNode(at(topo, {1, 2}));
+  const RouteDecision d = duato.route(m, cur, faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Absorb);
+  EXPECT_EQ(d.blockedDim, 0) << "reports the e-cube hop as the blocked channel";
+  EXPECT_EQ(d.blockedDirStep, +1);
+}
+
+TEST(Duato, LastProfitableDimOnlyEscapeRemains) {
+  // One unmatched dim left: profitable hop == escape hop; candidates carry
+  // both the adaptive and escape masks for the same port.
+  const TorusTopology topo(8, 2);
+  const DuatoRouting duato(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Adaptive, 6);
+  const Message m = adaptiveMsgTo(at(topo, {1, 5}));
+  const RouteDecision d = duato.route(m, at(topo, {1, 3}), faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Forward);
+  ASSERT_EQ(d.candidates.size(), 2u);
+  EXPECT_EQ(d.candidates[0].outPort, d.candidates[1].outPort);
+  EXPECT_EQ(d.candidates[0].vcs | d.candidates[1].vcs,
+            static_cast<VcMask>(part.adaptiveMask() | part.escapeMask(0)));
+}
+
+TEST(Duato, MinimalVcCountStillOffersEscape) {
+  // V=2: no adaptive VCs; DP degenerates to pure e-cube escape.
+  const TorusTopology topo(8, 2);
+  const DuatoRouting duato(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Adaptive, 2);
+  const Message m = adaptiveMsgTo(at(topo, {3, 3}));
+  const RouteDecision d = duato.route(m, at(topo, {1, 1}), faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Forward);
+  ASSERT_EQ(d.candidates.size(), 1u);
+  EXPECT_EQ(d.candidates[0].vcs, part.escapeMask(0));
+}
+
+}  // namespace
+}  // namespace swft

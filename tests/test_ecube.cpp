@@ -1,0 +1,165 @@
+#include "src/routing/ecube.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+Message msgTo(const TorusTopology& topo, NodeId dest) {
+  (void)topo;
+  Message m;
+  m.finalDest = dest;
+  m.curTarget = dest;
+  return m;
+}
+
+NodeId at(const TorusTopology& topo, std::initializer_list<int> digits) {
+  Coordinates c;
+  c.digit.resize(digits.size());
+  int i = 0;
+  for (int d : digits) c[i++] = static_cast<std::int16_t>(d);
+  return topo.idOf(c);
+}
+
+TEST(Ecube, ReachesTargetInDimensionOrder) {
+  const TorusTopology topo(8, 3);
+  const EcubeRouting ecube(topo);
+  const Message m = msgTo(topo, at(topo, {5, 2, 7}));
+  const auto path = ecube.tracePath(m, at(topo, {1, 1, 1}));
+
+  // Dimensions must be visited in monotonically increasing order.
+  int lastDim = -1;
+  for (const Hop& h : path) {
+    EXPECT_GE(static_cast<int>(h.dim), lastDim);
+    lastDim = h.dim;
+  }
+  // Path length equals the minimal (Lee) distance.
+  EXPECT_EQ(path.size(),
+            static_cast<std::size_t>(topo.distance(at(topo, {1, 1, 1}), m.curTarget)));
+}
+
+TEST(Ecube, NextHopNulloptAtTarget) {
+  const TorusTopology topo(8, 2);
+  const EcubeRouting ecube(topo);
+  const Message m = msgTo(topo, 42);
+  EXPECT_FALSE(ecube.nextHop(m, 42).has_value());
+}
+
+TEST(Ecube, TakesMinimalRingDirection) {
+  const TorusTopology topo(8, 2);
+  const EcubeRouting ecube(topo);
+  // 1 -> 7 in dim 0: minimal is -2 (wrap through 0), not +6.
+  const Message m = msgTo(topo, at(topo, {7, 0}));
+  const auto hop = ecube.nextHop(m, at(topo, {1, 0}));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->dim, 0);
+  EXPECT_EQ(hop->dir, Dir::Neg);
+}
+
+TEST(Ecube, DirectionOverrideForcesNonMinimalRing) {
+  const TorusTopology topo(8, 2);
+  const EcubeRouting ecube(topo);
+  Message m = msgTo(topo, at(topo, {3, 0}));
+  m.dirOverride[0] = -1;  // force the long way round
+  const auto path = ecube.tracePath(m, at(topo, {1, 0}));
+  // 1 -> 3 backwards: 1,0,7,...,4,3 = 6 hops, all negative in dim 0.
+  EXPECT_EQ(path.size(), 6u);
+  for (const Hop& h : path) {
+    EXPECT_EQ(h.dim, 0);
+    EXPECT_EQ(h.dir, Dir::Neg);
+  }
+}
+
+TEST(Ecube, OverrideOnlyAffectsItsDimension) {
+  const TorusTopology topo(8, 2);
+  const EcubeRouting ecube(topo);
+  Message m = msgTo(topo, at(topo, {2, 2}));
+  m.dirOverride[0] = +1;
+  const auto path = ecube.tracePath(m, at(topo, {1, 1}));
+  ASSERT_EQ(path.size(), 2u);  // +1 in dim 0 (minimal anyway), +1 in dim 1
+  EXPECT_EQ(path[0].dim, 0);
+  EXPECT_EQ(path[0].dir, Dir::Pos);
+  EXPECT_EQ(path[1].dim, 1);
+  EXPECT_EQ(path[1].dir, Dir::Pos);
+}
+
+TEST(Ecube, RouteDeliversAtTarget) {
+  const TorusTopology topo(8, 2);
+  const EcubeRouting ecube(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Deterministic, 4);
+  const Message m = msgTo(topo, 10);
+  const RouteDecision d = ecube.route(m, 10, faults, part);
+  EXPECT_EQ(d.kind, RouteDecision::Kind::Deliver);
+}
+
+TEST(Ecube, RouteForwardsSingleCandidateWithClassMask) {
+  const TorusTopology topo(8, 2);
+  const EcubeRouting ecube(topo);
+  const FaultSet faults(topo);
+  const VcPartition part(RoutingMode::Deterministic, 4);
+  Message m = msgTo(topo, at(topo, {3, 0}));
+  const RouteDecision d = ecube.route(m, at(topo, {1, 0}), faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Forward);
+  ASSERT_EQ(d.candidates.size(), 1u);
+  EXPECT_EQ(d.candidates[0].outPort, portOf(0, Dir::Pos));
+  EXPECT_EQ(d.candidates[0].vcs, part.escapeMask(0));
+
+  // After crossing the wrap, the class-1 mask must be used.
+  m.setWrapped(0);
+  const RouteDecision d1 = ecube.route(m, at(topo, {1, 0}), faults, part);
+  EXPECT_EQ(d1.candidates[0].vcs, part.escapeMask(1));
+}
+
+TEST(Ecube, RouteAbsorbsWhenRequiredLinkFaulty) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const EcubeRouting ecube(topo);
+  const VcPartition part(RoutingMode::Deterministic, 4);
+  const NodeId cur = at(topo, {1, 0});
+  const Message m = msgTo(topo, at(topo, {3, 0}));
+  faults.failNode(at(topo, {2, 0}));  // the required +x neighbour
+  const RouteDecision d = ecube.route(m, cur, faults, part);
+  ASSERT_EQ(d.kind, RouteDecision::Kind::Absorb);
+  EXPECT_EQ(d.blockedDim, 0);
+  EXPECT_EQ(d.blockedDirStep, +1);
+}
+
+TEST(Ecube, TracePathTerminatesUnderPathologicalOverride) {
+  // Override in a dimension that is already matched is ignored; override in
+  // an unmatched dimension still terminates (ring distance <= k-1).
+  const TorusTopology topo(5, 2);
+  const EcubeRouting ecube(topo);
+  Message m = msgTo(topo, at(topo, {0, 3}));
+  m.dirOverride[1] = +1;
+  const auto path = ecube.tracePath(m, at(topo, {0, 4}));
+  EXPECT_EQ(path.size(), 4u);  // 4 -> 0 -> 1 -> 2 -> 3 forced positive
+}
+
+class EcubeAllPairs : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(EcubeAllPairs, EveryPairRoutesMinimally) {
+  const auto [k, n] = GetParam();
+  const TorusTopology topo(k, n);
+  const EcubeRouting ecube(topo);
+  for (NodeId s = 0; s < topo.nodeCount(); ++s) {
+    for (NodeId d = 0; d < topo.nodeCount(); ++d) {
+      if (s == d) continue;
+      const Message m = msgTo(topo, d);
+      const auto path = ecube.tracePath(m, s);
+      ASSERT_EQ(path.size(), static_cast<std::size_t>(topo.distance(s, d)))
+          << "src=" << s << " dst=" << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, EcubeAllPairs,
+                         ::testing::Values(std::pair{4, 2}, std::pair{5, 2}, std::pair{8, 2},
+                                           std::pair{4, 3}, std::pair{3, 4}),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.first) + "n" +
+                                  std::to_string(info.param.second);
+                         });
+
+}  // namespace
+}  // namespace swft

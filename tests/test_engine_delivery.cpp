@@ -1,0 +1,189 @@
+// Property suite: every configuration must deliver all measured messages
+// with no deadlock, no livelock escalation, and exact message conservation.
+#include <gtest/gtest.h>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+namespace {
+
+struct DeliveryCase {
+  int k, n, vcs;
+  RoutingMode mode;
+  int randomFaults;
+  std::uint64_t seed;
+};
+
+std::string caseName(const ::testing::TestParamInfo<DeliveryCase>& info) {
+  const auto& p = info.param;
+  return "k" + std::to_string(p.k) + "n" + std::to_string(p.n) + "V" +
+         std::to_string(p.vcs) + (p.mode == RoutingMode::Adaptive ? "adp" : "det") +
+         "nf" + std::to_string(p.randomFaults) + "s" + std::to_string(p.seed);
+}
+
+class DeliveryProperty : public ::testing::TestWithParam<DeliveryCase> {};
+
+TEST_P(DeliveryProperty, AllMeasuredMessagesDelivered) {
+  const auto& p = GetParam();
+  SimConfig cfg;
+  cfg.radix = p.k;
+  cfg.dims = p.n;
+  cfg.vcs = p.vcs;
+  cfg.routing = p.mode;
+  cfg.messageLength = 8;
+  cfg.injectionRate = 0.005;
+  cfg.faults.randomNodes = p.randomFaults;
+  cfg.seed = p.seed;
+  cfg.warmupMessages = 200;
+  cfg.measuredMessages = 1200;
+  cfg.maxCycles = 400'000;
+
+  Network net(cfg);
+  const SimResult r = net.run();
+
+  EXPECT_TRUE(r.completed) << "must reach the measured-message target";
+  EXPECT_FALSE(r.deadlockSuspected) << "watchdog must never fire";
+  EXPECT_EQ(r.escalations, 0u) << "paper configurations never need the livelock guard";
+  EXPECT_EQ(r.generatedTotal, r.deliveredTotal + net.inFlight()) << "conservation";
+  EXPECT_GT(r.meanLatency, 0.0);
+  if (p.randomFaults == 0) {
+    EXPECT_EQ(r.messagesQueued, 0u) << "no absorption without faults";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeliveryProperty,
+    ::testing::Values(
+        // Fault-free, both routings, assorted topologies.
+        DeliveryCase{4, 2, 2, RoutingMode::Deterministic, 0, 1},
+        DeliveryCase{4, 2, 2, RoutingMode::Adaptive, 0, 1},
+        DeliveryCase{8, 2, 4, RoutingMode::Deterministic, 0, 2},
+        DeliveryCase{8, 2, 4, RoutingMode::Adaptive, 0, 2},
+        DeliveryCase{4, 3, 4, RoutingMode::Deterministic, 0, 3},
+        DeliveryCase{4, 3, 4, RoutingMode::Adaptive, 0, 3},
+        DeliveryCase{3, 4, 4, RoutingMode::Deterministic, 0, 4},
+        DeliveryCase{5, 2, 3, RoutingMode::Deterministic, 0, 5},
+        // Faulty, both routings, 2-D / 3-D / 4-D.
+        DeliveryCase{8, 2, 4, RoutingMode::Deterministic, 3, 11},
+        DeliveryCase{8, 2, 4, RoutingMode::Adaptive, 3, 11},
+        DeliveryCase{8, 2, 6, RoutingMode::Deterministic, 5, 12},
+        DeliveryCase{8, 2, 6, RoutingMode::Adaptive, 5, 12},
+        DeliveryCase{8, 2, 10, RoutingMode::Deterministic, 5, 13},
+        DeliveryCase{4, 3, 4, RoutingMode::Deterministic, 6, 14},
+        DeliveryCase{4, 3, 4, RoutingMode::Adaptive, 6, 14},
+        DeliveryCase{4, 3, 6, RoutingMode::Adaptive, 10, 15},
+        DeliveryCase{3, 4, 4, RoutingMode::Deterministic, 4, 16},
+        DeliveryCase{3, 4, 4, RoutingMode::Adaptive, 4, 16},
+        DeliveryCase{5, 3, 4, RoutingMode::Deterministic, 8, 17},
+        DeliveryCase{6, 2, 4, RoutingMode::Adaptive, 4, 18}),
+    caseName);
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, FaultyNetworkDeliversAcrossSeeds) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.routing = RoutingMode::Deterministic;
+  cfg.messageLength = 16;
+  cfg.injectionRate = 0.004;
+  cfg.faults.randomNodes = 5;
+  cfg.seed = GetParam();
+  cfg.warmupMessages = 200;
+  cfg.measuredMessages = 1000;
+  cfg.maxCycles = 400'000;
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlockSuspected);
+  EXPECT_EQ(r.escalations, 0u);
+  EXPECT_GT(r.messagesQueued, 0u) << "5 faults in a 64-node torus must absorb sometimes";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range<std::uint64_t>(100, 110));
+
+TEST(DeliveryEdge, SingleFlitMessages) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.messageLength = 1;  // header-tail flits
+  cfg.injectionRate = 0.02;
+  cfg.warmupMessages = 200;
+  cfg.measuredMessages = 2000;
+  cfg.faults.randomNodes = 3;
+  cfg.seed = 9;
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlockSuspected);
+}
+
+TEST(DeliveryEdge, MinimumRadixThree) {
+  SimConfig cfg;
+  cfg.radix = 3;
+  cfg.dims = 3;
+  cfg.vcs = 4;
+  cfg.messageLength = 4;
+  cfg.injectionRate = 0.01;
+  cfg.warmupMessages = 100;
+  cfg.measuredMessages = 800;
+  cfg.faults.randomNodes = 2;
+  cfg.seed = 21;
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlockSuspected);
+}
+
+TEST(DeliveryEdge, LongMessagesShallowBuffers) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 2;
+  cfg.bufferDepth = 1;
+  cfg.messageLength = 64;
+  cfg.injectionRate = 0.001;
+  cfg.warmupMessages = 50;
+  cfg.measuredMessages = 400;
+  cfg.faults.randomNodes = 2;
+  cfg.seed = 31;
+  cfg.maxCycles = 1'000'000;
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlockSuspected);
+}
+
+TEST(DeliveryEdge, TransposePatternUnderFaults) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.pattern = TrafficPattern::Transpose;
+  cfg.messageLength = 8;
+  cfg.injectionRate = 0.004;
+  cfg.warmupMessages = 100;
+  cfg.measuredMessages = 800;
+  cfg.faults.randomNodes = 3;
+  cfg.seed = 41;
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlockSuspected);
+}
+
+TEST(DeliveryEdge, HotspotPattern) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.pattern = TrafficPattern::Hotspot;
+  cfg.messageLength = 8;
+  cfg.injectionRate = 0.003;
+  cfg.warmupMessages = 100;
+  cfg.measuredMessages = 800;
+  cfg.seed = 43;
+  const SimResult r = runSimulation(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlockSuspected);
+}
+
+}  // namespace
+}  // namespace swft

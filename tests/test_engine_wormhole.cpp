@@ -1,0 +1,138 @@
+// Wormhole flow-control behaviour: backpressure, ejection contention, and
+// credit discipline under minimal buffering.
+#include <gtest/gtest.h>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+namespace {
+
+NodeId at(const TorusTopology& topo, std::initializer_list<int> digits) {
+  Coordinates c;
+  c.digit.resize(digits.size());
+  int i = 0;
+  for (int d : digits) c[i++] = static_cast<std::int16_t>(d);
+  return topo.idOf(c);
+}
+
+TEST(Wormhole, SingleFlitBuffersStillDeliver) {
+  // bufferDepth=1 is the tightest legal credit loop: each flit advances only
+  // when the next buffer drained completely.
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 2;
+  cfg.bufferDepth = 1;
+  cfg.injectionRate = 0.0;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1;
+  Network net(cfg);
+  const TorusTopology& topo = net.topology();
+  net.injectTestMessage(at(topo, {0, 0}), at(topo, {4, 0}), 16, RoutingMode::Deterministic);
+  const SimResult r = net.run();
+  ASSERT_EQ(r.deliveredTotal, 1u);
+  // With 1-deep buffers the worm cannot pipeline one flit per cycle; the
+  // latency must exceed the ideal hops + M bound.
+  EXPECT_GT(r.meanLatency, 4 + 16);
+  EXPECT_EQ(net.validateInvariants(), "");
+}
+
+TEST(Wormhole, DeepBuffersRecoverIdealPipelining) {
+  double latency[2];
+  for (int i = 0; i < 2; ++i) {
+    SimConfig cfg;
+    cfg.radix = 8;
+    cfg.dims = 2;
+    cfg.vcs = 2;
+    cfg.bufferDepth = i == 0 ? 1 : 8;
+    cfg.injectionRate = 0.0;
+    cfg.warmupMessages = 0;
+    cfg.measuredMessages = 1;
+    Network net(cfg);
+    const TorusTopology& topo = net.topology();
+    net.injectTestMessage(at(topo, {0, 0}), at(topo, {4, 0}), 16,
+                          RoutingMode::Deterministic);
+    latency[i] = net.run().meanLatency;
+  }
+  EXPECT_LT(latency[1], latency[0]);
+  EXPECT_NEAR(latency[1], 4 + 16, 4) << "8-deep buffers restore 1 flit/cycle";
+}
+
+TEST(Wormhole, EjectionChannelSerialisesConcurrentArrivals) {
+  // Two messages from opposite sides arrive at one destination; the single
+  // ejection channel (1 flit/cycle) must serialise them, and both complete.
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.injectionRate = 0.0;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 2;
+  Network net(cfg);
+  const TorusTopology& topo = net.topology();
+  const NodeId dest = at(topo, {4, 4});
+  net.injectTestMessage(at(topo, {2, 4}), dest, 16, RoutingMode::Deterministic);
+  net.injectTestMessage(at(topo, {6, 4}), dest, 16, RoutingMode::Deterministic);
+  const SimResult r = net.run();
+  ASSERT_EQ(r.deliveredTotal, 2u);
+  // 32 flits through one ejection channel: the run needs >= 32 cycles after
+  // the first arrival; the slower message must see the contention.
+  EXPECT_GE(r.maxLatency, 2 + 16 + 8);
+  EXPECT_EQ(net.validateInvariants(), "");
+}
+
+TEST(Wormhole, BlockedWormStallsWithoutFlitLoss) {
+  // A hotspot column at high load forces heavy contention; conservation and
+  // invariants must hold while worms stall mid-network.
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 2;
+  cfg.bufferDepth = 2;
+  cfg.pattern = TrafficPattern::Hotspot;
+  cfg.messageLength = 24;
+  cfg.injectionRate = 0.01;  // well above hotspot capacity
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = ~std::uint32_t{0};
+  cfg.maxCycles = 20'000;
+  cfg.seed = 12;
+  Network net(cfg);
+  for (int i = 0; i < 20; ++i) {
+    net.step(1000);
+    ASSERT_EQ(net.validateInvariants(), "") << "cycle " << net.now();
+  }
+  EXPECT_EQ(net.generated(), net.delivered() + net.inFlight());
+  EXPECT_FALSE(net.deadlockSuspected());
+  EXPECT_GT(net.delivered(), 0u);
+}
+
+TEST(Wormhole, HeaderCannotOvertakeWithinAVc) {
+  // FIFO discipline per VC: with a single VC and deterministic routing, two
+  // messages on the same path deliver in injection order.
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 2;  // one per wrap class: effectively a single in-order lane
+  cfg.injectionRate = 0.0;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 2;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  const TorusTopology& topo = net.topology();
+  const MsgId first =
+      net.injectTestMessage(at(topo, {0, 0}), at(topo, {5, 0}), 8, RoutingMode::Deterministic);
+  const MsgId second =
+      net.injectTestMessage(at(topo, {0, 0}), at(topo, {5, 0}), 8, RoutingMode::Deterministic);
+  (void)first;
+  (void)second;
+  net.run();
+  const auto& e0 = trace.eventsFor(0);
+  const auto& e1 = trace.eventsFor(1);
+  ASSERT_FALSE(e0.empty());
+  ASSERT_FALSE(e1.empty());
+  EXPECT_LT(e0.back().cycle, e1.back().cycle) << "same-path messages stay ordered";
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,89 @@
+#include "src/fault/fault_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+TEST(FaultSet, StartsHealthy) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);
+  EXPECT_EQ(faults.faultyNodeCount(), 0);
+  for (NodeId id = 0; id < topo.nodeCount(); ++id) {
+    EXPECT_FALSE(faults.nodeFaulty(id));
+    EXPECT_EQ(faults.healthyDegree(id), topo.networkPorts());
+  }
+}
+
+TEST(FaultSet, NodeFailureMarksAllIncidentLinksBothSides) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const NodeId victim = 27;
+  faults.failNode(victim);
+
+  EXPECT_TRUE(faults.nodeFaulty(victim));
+  EXPECT_EQ(faults.faultyNodeCount(), 1);
+  for (int port = 0; port < topo.networkPorts(); ++port) {
+    EXPECT_TRUE(faults.linkFaulty(victim, port));
+    const NodeId nb = topo.neighbor(victim, port);
+    const int back = portOf(dimOfPort(port), opposite(dirOfPort(port)));
+    EXPECT_TRUE(faults.linkFaulty(nb, back)) << "neighbour view of the dead link";
+    EXPECT_FALSE(faults.nodeFaulty(nb));
+  }
+}
+
+TEST(FaultSet, NodeFailureIsIdempotent) {
+  const TorusTopology topo(4, 2);
+  FaultSet faults(topo);
+  faults.failNode(5);
+  faults.failNode(5);
+  EXPECT_EQ(faults.faultyNodeCount(), 1);
+}
+
+TEST(FaultSet, LinkFailureAffectsBothDirectionsOnly) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const NodeId a = 10;
+  faults.failLink(a, 0, Dir::Pos);
+  const NodeId b = topo.neighbor(a, 0, Dir::Pos);
+
+  EXPECT_TRUE(faults.linkFaulty(a, 0, Dir::Pos));
+  EXPECT_TRUE(faults.linkFaulty(b, 0, Dir::Neg));
+  EXPECT_FALSE(faults.nodeFaulty(a));
+  EXPECT_FALSE(faults.nodeFaulty(b));
+  EXPECT_FALSE(faults.linkFaulty(a, 0, Dir::Neg));
+  EXPECT_FALSE(faults.linkFaulty(a, 1, Dir::Pos));
+  EXPECT_EQ(faults.healthyDegree(a), topo.networkPorts() - 1);
+  EXPECT_EQ(faults.healthyDegree(b), topo.networkPorts() - 1);
+}
+
+TEST(FaultSet, HealthyAndFaultyPartitionNodes) {
+  const TorusTopology topo(4, 3);
+  FaultSet faults(topo);
+  faults.failNode(1);
+  faults.failNode(10);
+  faults.failNode(33);
+  const auto faulty = faults.faultyNodes();
+  const auto healthy = faults.healthyNodes();
+  EXPECT_EQ(faulty.size(), 3u);
+  EXPECT_EQ(healthy.size() + faulty.size(), topo.nodeCount());
+  for (NodeId id : faulty) EXPECT_TRUE(faults.nodeFaulty(id));
+  for (NodeId id : healthy) EXPECT_FALSE(faults.nodeFaulty(id));
+}
+
+TEST(FaultSet, PaperLinkModelTwoEndpointFailure) {
+  // Paper §5.2: "A link failure can be modelled by the failure of two nodes
+  // connected to it."
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const NodeId a = 20;
+  const NodeId b = topo.neighbor(a, 0, Dir::Pos);
+  faults.failNode(a);
+  faults.failNode(b);
+  EXPECT_TRUE(faults.linkFaulty(a, 0, Dir::Pos));
+  EXPECT_TRUE(faults.linkFaulty(b, 0, Dir::Neg));
+  EXPECT_EQ(faults.faultyNodeCount(), 2);
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,79 @@
+#include "src/harness/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+NodeId at(const TorusTopology& topo, std::initializer_list<int> digits) {
+  Coordinates c;
+  c.digit.resize(digits.size());
+  int i = 0;
+  for (int d : digits) c[i++] = static_cast<std::int16_t>(d);
+  return topo.idOf(c);
+}
+
+TEST(Heatmap, FaultMapMarksFaultyCells) {
+  const TorusTopology topo(4, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {1, 2}));
+  const std::string map = renderFaultMap(topo, faults);
+  // 4 rows of "x x x x \n" = 4 lines, 8 chars + newline each.
+  ASSERT_EQ(map.size(), 4u * 9u);
+  int hashes = 0;
+  for (char c : map) hashes += (c == '#');
+  EXPECT_EQ(hashes, 1);
+  // Row y=2 is printed second from the top (top-down order), column x=1.
+  const std::size_t line = 1;  // y=3 first, y=2 second
+  const std::size_t col = 1 * 2;
+  EXPECT_EQ(map[line * 9 + col], '#');
+}
+
+TEST(Heatmap, FaultFreePlaneAllDots) {
+  const TorusTopology topo(5, 3);
+  const FaultSet faults(topo);
+  const std::string map = renderFaultMap(topo, faults, 1, 2);
+  for (char c : map) EXPECT_TRUE(c == '.' || c == ' ' || c == '\n');
+}
+
+TEST(Heatmap, AbsorptionIntensityAppearsNextToRegion) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.injectionRate = 0.004;
+  cfg.messageLength = 8;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1500;
+  cfg.seed = 91;
+  const TorusTopology topo(8, 2);
+  cfg.faults.regions.push_back(fig5U8(topo));
+  Network net(cfg);
+  net.run();
+  const std::string map = renderAbsorptionHeatmap(net);
+  int faulty = 0;
+  int hot = 0;
+  for (char c : map) {
+    faulty += (c == '#');
+    hot += (c >= '1' && c <= '9');
+  }
+  EXPECT_EQ(faulty, 8) << "the U region has 8 nodes";
+  EXPECT_GT(hot, 0) << "the messaging layers around the region must be hot";
+}
+
+TEST(Heatmap, AnchorSelectsPlaneIn3D) {
+  const TorusTopology topo(4, 3);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {1, 1, 2}));
+  Coordinates anchor;
+  anchor.digit.resize(3);
+  anchor[2] = 2;
+  const std::string inPlane = renderFaultMap(topo, faults, 0, 1, &anchor);
+  anchor[2] = 0;
+  const std::string offPlane = renderFaultMap(topo, faults, 0, 1, &anchor);
+  EXPECT_NE(inPlane.find('#'), std::string::npos);
+  EXPECT_EQ(offPlane.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,79 @@
+#include "src/util/inline_vector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+TEST(InlineVector, StartsEmpty) {
+  InlineVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(InlineVector, PushPopBack) {
+  InlineVector<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(InlineVector, InitializerList) {
+  InlineVector<int, 4> v{3, 1, 4};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[1], 1);
+  EXPECT_EQ(v[2], 4);
+}
+
+TEST(InlineVector, IterationOrder) {
+  InlineVector<int, 8> v{1, 2, 3, 4};
+  int expect = 1;
+  for (int x : v) EXPECT_EQ(x, expect++);
+}
+
+TEST(InlineVector, ResizeGrowsWithFill) {
+  InlineVector<int, 8> v{1};
+  v.resize(4, 9);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[3], 9);
+}
+
+TEST(InlineVector, ResizeShrinks) {
+  InlineVector<int, 8> v{1, 2, 3};
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(InlineVector, Equality) {
+  InlineVector<int, 4> a{1, 2};
+  InlineVector<int, 4> b{1, 2};
+  InlineVector<int, 4> c{1, 3};
+  InlineVector<int, 4> d{1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(InlineVector, ClearResets) {
+  InlineVector<int, 4> v{1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(InlineVector, FillToCapacity) {
+  InlineVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), v.capacity());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,70 @@
+#include "src/router/message_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+TEST(MessagePool, AllocateInitialisesSlot) {
+  MessagePool pool;
+  const MsgId id = pool.allocate();
+  const Message& m = pool.get(id);
+  EXPECT_EQ(m.src, kInvalidNode);
+  EXPECT_EQ(m.absorptions, 0);
+  EXPECT_EQ(pool.liveCount(), 1u);
+}
+
+TEST(MessagePool, ReleaseRecyclesSlots) {
+  MessagePool pool;
+  const MsgId a = pool.allocate();
+  pool.get(a).hops = 99;
+  pool.release(a);
+  EXPECT_EQ(pool.liveCount(), 0u);
+  const MsgId b = pool.allocate();
+  EXPECT_EQ(b, a) << "slot must be recycled";
+  EXPECT_EQ(pool.get(b).hops, 0u) << "recycled slot must be re-initialised";
+}
+
+TEST(MessagePool, CapacityTracksPeakNotLive) {
+  MessagePool pool;
+  const MsgId a = pool.allocate();
+  const MsgId b = pool.allocate();
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.capacity(), 2u);
+  pool.allocate();
+  pool.allocate();
+  EXPECT_EQ(pool.capacity(), 2u);
+  pool.allocate();
+  EXPECT_EQ(pool.capacity(), 3u);
+  EXPECT_EQ(pool.liveCount(), 3u);
+}
+
+TEST(Message, FlitKindLayout) {
+  Message m;
+  m.length = 4;
+  EXPECT_EQ(m.flitKindAt(0), FlitKind::Header);
+  EXPECT_EQ(m.flitKindAt(1), FlitKind::Body);
+  EXPECT_EQ(m.flitKindAt(2), FlitKind::Body);
+  EXPECT_EQ(m.flitKindAt(3), FlitKind::Tail);
+  m.length = 1;
+  EXPECT_EQ(m.flitKindAt(0), FlitKind::HeaderTail);
+  m.length = 2;
+  EXPECT_EQ(m.flitKindAt(0), FlitKind::Header);
+  EXPECT_EQ(m.flitKindAt(1), FlitKind::Tail);
+}
+
+TEST(Message, WrapFlagsPerDimension) {
+  Message m;
+  EXPECT_FALSE(m.wrapped(0));
+  m.setWrapped(2);
+  EXPECT_TRUE(m.wrapped(2));
+  EXPECT_FALSE(m.wrapped(0));
+  m.setWrapped(0);
+  m.resetTransit();
+  EXPECT_FALSE(m.wrapped(0));
+  EXPECT_FALSE(m.wrapped(2));
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,70 @@
+#include "src/sim/router_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+TEST(RouterState, LayoutAndIndexing) {
+  // 2-D torus router: 5 input ports (4 network + injection), V=4.
+  RouterState r(5, 4, 4, 2);
+  EXPECT_EQ(r.vcs(), 4);
+  EXPECT_EQ(r.unitCount(), 20);
+  EXPECT_EQ(r.unitIndex(0, 0), 0);
+  EXPECT_EQ(r.unitIndex(3, 2), 14);
+  EXPECT_EQ(r.unit(3, 2).buf.capacity(), 2);
+}
+
+TEST(RouterState, OutputOwnershipLifecycle) {
+  RouterState r(5, 4, 4, 4);
+  EXPECT_EQ(r.outOwner(2, 1), -1);
+  r.setOutOwner(2, 1, 7);
+  EXPECT_EQ(r.outOwner(2, 1), 7);
+  EXPECT_EQ(r.outOwner(2, 0), -1) << "other VCs unaffected";
+  r.setOutOwner(2, 1, -1);
+  EXPECT_EQ(r.outOwner(2, 1), -1);
+}
+
+TEST(RouterState, OccupancyBitsTrackUnits) {
+  RouterState r(7, 6, 10, 4);  // 3-D router, V=10: 70 units, crosses word 0/1
+  EXPECT_FALSE(r.anyOccupied());
+  r.markOccupied(3);
+  r.markOccupied(69);
+  EXPECT_TRUE(r.anyOccupied());
+  EXPECT_TRUE(r.occupancy()[0] & (1ULL << 3));
+  EXPECT_TRUE(r.occupancy()[1] & (1ULL << 5));  // 69 = 64 + 5
+  r.markEmpty(3);
+  EXPECT_FALSE(r.occupancy()[0] & (1ULL << 3));
+  EXPECT_TRUE(r.anyOccupied());
+  r.markEmpty(69);
+  EXPECT_FALSE(r.anyOccupied());
+}
+
+TEST(RouterState, CursorsPerPort) {
+  RouterState r(5, 4, 4, 4);
+  EXPECT_EQ(r.cursor(0), 0);
+  r.setCursor(0, 13);
+  r.setCursor(4, 7);
+  EXPECT_EQ(r.cursor(0), 13);
+  EXPECT_EQ(r.cursor(4), 7);
+  EXPECT_EQ(r.cursor(1), 0);
+}
+
+TEST(RouterState, RejectsTooManyUnits) {
+  // 17 ports x 16 VCs = 272 units > 320-bit mask? 272 < 320: fine.
+  EXPECT_NO_THROW(RouterState(17, 16, 16, 4));
+  // A hypothetical 21-port router at V=16 would exceed the mask.
+  EXPECT_THROW(RouterState(21, 20, 16, 4), std::invalid_argument);
+}
+
+TEST(RouterState, BuffersAreIndependent) {
+  RouterState r(5, 4, 2, 3);
+  r.unit(0, 0).buf.push(Flit{1, FlitKind::Header}, 0);
+  r.unit(0, 1).buf.push(Flit{2, FlitKind::Header}, 0);
+  EXPECT_EQ(r.unit(0, 0).buf.front().msg, 1u);
+  EXPECT_EQ(r.unit(0, 1).buf.front().msg, 2u);
+  EXPECT_EQ(r.unit(1, 0).buf.size(), 0);
+}
+
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,290 @@
+#include "src/routing/software_layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+NodeId at(const TorusTopology& topo, std::initializer_list<int> digits) {
+  Coordinates c;
+  c.digit.resize(digits.size());
+  int i = 0;
+  for (int d : digits) c[i++] = static_cast<std::int16_t>(d);
+  return topo.idOf(c);
+}
+
+Message blockedMsg(NodeId dest, int dim, int step) {
+  Message m;
+  m.finalDest = dest;
+  m.curTarget = dest;
+  m.blockedValid = true;
+  m.blockedDim = static_cast<std::uint8_t>(dim);
+  m.blockedDirStep = static_cast<std::int8_t>(step);
+  return m;
+}
+
+TEST(SoftwareLayerTables, FaultTableReflectsLinkHealth) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  const NodeId victim = at(topo, {2, 1});
+  faults.failNode(victim);
+  const SoftwareLayer layer(topo, faults, 96);
+
+  const NodeId west = at(topo, {1, 1});
+  const auto& t = layer.tables(west);
+  EXPECT_FALSE(t.healthyLinkMask & (1u << portOf(0, Dir::Pos))) << "link into the fault";
+  EXPECT_TRUE(t.healthyLinkMask & (1u << portOf(0, Dir::Neg)));
+  EXPECT_TRUE(t.healthyLinkMask & (1u << portOf(1, Dir::Pos)));
+  EXPECT_TRUE(t.healthyLinkMask & (1u << portOf(1, Dir::Neg)));
+}
+
+TEST(SoftwareLayerTables, DirectionTableMarksSurvivingReversal) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {2, 1}));
+  const SoftwareLayer layer(topo, faults, 96);
+  const auto& t = layer.tables(at(topo, {1, 1}));
+  // Blocked going +x: the -x link survives, so reversal is usable.
+  EXPECT_TRUE(t.reversalUsable & (1u << portOf(0, Dir::Pos)));
+}
+
+TEST(SoftwareLayerTables, DetourTablePrefersPlanePartner) {
+  const TorusTopology topo(8, 3);
+  const FaultSet faults(topo);
+  const SoftwareLayer layer(topo, faults, 96);
+  const auto& t = layer.tables(0);
+  EXPECT_EQ(t.detourDim[0], 1) << "plane of dim 0 is (0,1)";
+  EXPECT_EQ(t.detourDim[1], 2) << "plane of dim 1 is (1,2)";
+  EXPECT_EQ(t.detourDim[2], 1) << "last dim pairs with n-2";
+  EXPECT_NE(t.detourDirStep[0], 0);
+}
+
+TEST(SoftwareLayer, PlanePartnerMatchesPaperPairing) {
+  const TorusTopology topo2(8, 2);
+  const TorusTopology topo4(4, 4);
+  const FaultSet f2(topo2);
+  const FaultSet f4(topo4);
+  const SoftwareLayer l2(topo2, f2, 96);
+  const SoftwareLayer l4(topo4, f4, 96);
+  EXPECT_EQ(l2.planePartner(0), 1);
+  EXPECT_EQ(l2.planePartner(1), 0);
+  EXPECT_EQ(l4.planePartner(0), 1);
+  EXPECT_EQ(l4.planePartner(1), 2);
+  EXPECT_EQ(l4.planePartner(2), 3);
+  EXPECT_EQ(l4.planePartner(3), 2);
+}
+
+TEST(SoftwareLayer, FirstBlockInstallsDirectionReversal) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {2, 1}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m = blockedMsg(at(topo, {4, 1}), /*dim=*/0, /*step=*/+1);
+  layer.planReroute(m, at(topo, {1, 1}), rng);
+
+  EXPECT_EQ(m.dirOverride[0], -1) << "re-route same dimension, opposite direction";
+  EXPECT_EQ(m.curTarget, m.finalDest) << "no intermediate needed";
+  EXPECT_FALSE(m.absorbAtTarget);
+  EXPECT_FALSE(m.blockedValid) << "blocked state consumed";
+  EXPECT_EQ(m.absorptions, 1);
+  EXPECT_EQ(layer.stats().reversals, 1u);
+  EXPECT_EQ(layer.stats().detours, 0u);
+}
+
+TEST(SoftwareLayer, SecondBlockInSameDimTakesOrthogonalDetour) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {2, 1}));
+  faults.failNode(at(topo, {6, 1}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m = blockedMsg(at(topo, {4, 1}), 0, +1);
+  m.dirOverride[0] = -1;  // the reversal already happened
+  const NodeId here = at(topo, {7, 1});
+  m.blockedDirStep = -1;  // now blocked travelling -x into (6,1)
+  layer.planReroute(m, here, rng);
+
+  EXPECT_TRUE(m.absorbAtTarget) << "intermediate node address computed";
+  EXPECT_NE(m.curTarget, m.finalDest);
+  const Coordinates ic = topo.coordsOf(m.curTarget);
+  EXPECT_EQ(ic[0], 7) << "detour moves only in the orthogonal dimension";
+  EXPECT_NE(ic[1], 1);
+  EXPECT_EQ(layer.stats().detours, 1u);
+}
+
+TEST(SoftwareLayer, ReEvaluationAtIntermediateResumesCleanly) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);  // no faults: the resume must be clean
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m;
+  m.finalDest = at(topo, {4, 4});
+  m.curTarget = at(topo, {2, 2});
+  m.absorbAtTarget = true;
+  layer.planReroute(m, at(topo, {2, 2}), rng);
+
+  EXPECT_EQ(m.curTarget, m.finalDest);
+  EXPECT_FALSE(m.absorbAtTarget);
+  EXPECT_EQ(layer.stats().reEvaluations, 1u);
+  EXPECT_EQ(m.consecutiveDetours, 0);
+}
+
+TEST(SoftwareLayer, ReEvaluationDetectsNewBlockAhead) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {3, 2}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m;
+  m.finalDest = at(topo, {5, 2});
+  m.curTarget = at(topo, {2, 2});
+  m.absorbAtTarget = true;
+  layer.planReroute(m, at(topo, {2, 2}), rng);
+
+  // Next e-cube hop (+x into (3,2)) is faulty: the layer must react now.
+  EXPECT_TRUE(m.dirOverride[0] == -1 || m.absorbAtTarget)
+      << "either reversal or another detour must be planned";
+}
+
+TEST(SoftwareLayer, AdaptiveMessageDowngradedOnFirstAbsorption) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {2, 1}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m = blockedMsg(at(topo, {4, 1}), 0, +1);
+  m.mode = RoutingMode::Adaptive;
+  layer.planReroute(m, at(topo, {1, 1}), rng);
+  EXPECT_EQ(m.mode, RoutingMode::Deterministic)
+      << "faulted messages are always routed deterministically afterwards";
+}
+
+TEST(SoftwareLayer, BoundaryFollowingKeepsDetourDirection) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  // Vertical wall blocking +x at columns x=3 for several rows.
+  for (int y = 2; y <= 5; ++y) faults.failNode(at(topo, {3, y}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m = blockedMsg(at(topo, {5, 3}), 0, +1);
+  m.dirOverride[0] = +1;  // pretend the reversal already failed
+  m.lastDetourDim = 1;
+  m.lastDetourDirStep = +1;
+  layer.planReroute(m, at(topo, {2, 3}), rng);
+
+  ASSERT_TRUE(m.absorbAtTarget);
+  const Coordinates ic = topo.coordsOf(m.curTarget);
+  EXPECT_EQ(ic[1], 4) << "keeps sliding +y along the wall";
+}
+
+TEST(SoftwareLayer, EscalationAfterThresholdPicksRandomHealthyIntermediate) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {2, 1}));
+  SoftwareLayer layer(topo, faults, /*livelockThreshold=*/3);
+  Rng rng(7);
+
+  Message m = blockedMsg(at(topo, {4, 1}), 0, +1);
+  m.absorptions = 5;  // already past the threshold
+  layer.planReroute(m, at(topo, {1, 1}), rng);
+
+  EXPECT_EQ(layer.stats().escalations, 1u);
+  EXPECT_FALSE(faults.nodeFaulty(m.curTarget));
+  EXPECT_NE(m.curTarget, at(topo, {1, 1}));
+  EXPECT_EQ(m.dirOverride[0], 0) << "escalation clears overrides";
+}
+
+TEST(SoftwareLayer, AbsorptionCountersAccumulate) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {2, 1}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+  Message m = blockedMsg(at(topo, {4, 1}), 0, +1);
+  layer.planReroute(m, at(topo, {1, 1}), rng);
+  Message m2 = blockedMsg(at(topo, {4, 1}), 0, +1);
+  layer.planReroute(m2, at(topo, {1, 1}), rng);
+  EXPECT_EQ(layer.stats().absorptions, 2u) << "the Fig. 7 'messages queued' counter";
+}
+
+TEST(SoftwareLayer, TwoLegDetourWhenBlockedInHighestDimension) {
+  // Blocked travelling +y (dim 1, the highest dim in 2-D) with the reversal
+  // already spent: the sidestep dimension (0) is LOWER than the blocked one,
+  // so a single intermediate would be undone by dimension-order routing.
+  // The planner must chain a second leg that advances past the fault.
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {4, 3}));  // fault north of (4,2)
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m = blockedMsg(at(topo, {4, 6}), /*dim=*/1, /*step=*/+1);
+  m.dirOverride[1] = +1;  // reversal already used in dim 1
+  const NodeId here = at(topo, {4, 2});
+  layer.planReroute(m, here, rng);
+
+  ASSERT_TRUE(m.absorbAtTarget);
+  const Coordinates leg1 = topo.coordsOf(m.curTarget);
+  EXPECT_EQ(leg1[1], 2) << "first leg sidesteps in dim 0 only";
+  EXPECT_NE(leg1[0], 4);
+  ASSERT_NE(m.pendingTarget, kInvalidNode) << "two-leg plan required";
+  const Coordinates leg2 = topo.coordsOf(m.pendingTarget);
+  EXPECT_EQ(leg2[0], leg1[0]) << "second leg keeps the sidestep column";
+  EXPECT_EQ(leg2[1], 4) << "second leg advances 2 hops past the fault row";
+}
+
+TEST(SoftwareLayer, PendingLegPromotedOnArrival) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m;
+  m.finalDest = at(topo, {4, 6});
+  m.curTarget = at(topo, {5, 2});
+  m.absorbAtTarget = true;
+  m.pendingTarget = at(topo, {5, 5});
+  layer.planReroute(m, at(topo, {5, 2}), rng);
+
+  EXPECT_EQ(m.curTarget, at(topo, {5, 5})) << "pending leg becomes the target";
+  EXPECT_EQ(m.pendingTarget, kInvalidNode);
+  EXPECT_TRUE(m.absorbAtTarget) << "leg 2 is still a software intermediate";
+}
+
+TEST(SoftwareLayer, MatchedDimensionOverrideClearedOnAbsorption) {
+  // Regression guard for the ring-orbit livelock: once a dimension is
+  // corrected, its override must not force full ring orbits later.
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(at(topo, {7, 7}));
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+
+  Message m = blockedMsg(at(topo, {7, 6}), /*dim=*/1, /*step=*/-1);
+  m.dirOverride[0] = +1;   // stale override from an earlier fault in dim 0
+  const NodeId here = at(topo, {7, 0});  // dim 0 already matches the dest
+  layer.planReroute(m, here, rng);
+  EXPECT_EQ(m.dirOverride[0], 0) << "override in a corrected dim is dropped";
+}
+
+TEST(SoftwareLayer, OneDimensionalRingOnlyReverses) {
+  const TorusTopology topo(8, 1);
+  FaultSet faults(topo);
+  faults.failNode(3);
+  SoftwareLayer layer(topo, faults, 96);
+  Rng rng(1);
+  Message m = blockedMsg(5, 0, +1);
+  layer.planReroute(m, 2, rng);
+  EXPECT_EQ(m.dirOverride[0], -1);
+  EXPECT_EQ(m.curTarget, 5u);
+}
+
+}  // namespace
+}  // namespace swft

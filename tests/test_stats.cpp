@@ -1,0 +1,114 @@
+#include "src/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/sim/config.hpp"
+#include "src/util/rng.hpp"
+
+namespace swft {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMaxVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStat, LargeStreamNumericallyStable) {
+  RunningStat s;
+  for (int i = 0; i < 1000000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-3);
+}
+
+TEST(LatencyTracker, PercentilesOnUniformSamples) {
+  LatencyTracker t;
+  for (int i = 1; i <= 10000; ++i) t.add(static_cast<double>(i));
+  // Log-bucket resolution is ~±19%; allow a generous band.
+  EXPECT_NEAR(t.percentile(0.50), 5000, 5000 * 0.25);
+  EXPECT_NEAR(t.percentile(0.95), 9500, 9500 * 0.25);
+  EXPECT_NEAR(t.percentile(0.99), 9900, 9900 * 0.25);
+  EXPECT_LE(t.percentile(0.50), t.percentile(0.95));
+  EXPECT_LE(t.percentile(0.95), t.percentile(0.99));
+}
+
+TEST(LatencyTracker, PercentileOfConstantStream) {
+  LatencyTracker t;
+  for (int i = 0; i < 1000; ++i) t.add(64.0);
+  EXPECT_NEAR(t.percentile(0.5), 64.0, 64.0 * 0.2);
+  EXPECT_NEAR(t.percentile(0.99), 64.0, 64.0 * 0.2);
+}
+
+TEST(LatencyTracker, EmptyIsZero) {
+  const LatencyTracker t;
+  EXPECT_EQ(t.percentile(0.5), 0.0);
+  EXPECT_EQ(t.ciHalfWidth95(), 0.0);
+}
+
+TEST(LatencyTracker, ConfidenceIntervalShrinksWithSamples) {
+  Rng rng(7);
+  LatencyTracker small;
+  LatencyTracker large;
+  for (int i = 0; i < 2 * 512 + 1; ++i) small.add(100.0 + 20.0 * rng.uniform01());
+  for (int i = 0; i < 64 * 512; ++i) large.add(100.0 + 20.0 * rng.uniform01());
+  EXPECT_GT(small.ciHalfWidth95(), 0.0);
+  EXPECT_LT(large.ciHalfWidth95(), small.ciHalfWidth95());
+  EXPECT_LT(large.ciHalfWidth95(), 1.0) << "32k samples of a 20-wide uniform";
+}
+
+TEST(LatencyTracker, CiZeroBeforeTwoBatches) {
+  LatencyTracker t;
+  for (int i = 0; i < 600; ++i) t.add(10.0);  // just past one 512-batch
+  EXPECT_EQ(t.ciHalfWidth95(), 0.0);
+}
+
+TEST(Scale, EnvVariableSelectsPreset) {
+  unsetenv("SWFT_SCALE");
+  EXPECT_EQ(scaleFromEnv(), ScalePreset::Reduced);
+  setenv("SWFT_SCALE", "paper", 1);
+  EXPECT_EQ(scaleFromEnv(), ScalePreset::Paper);
+  setenv("SWFT_SCALE", "anything-else", 1);
+  EXPECT_EQ(scaleFromEnv(), ScalePreset::Reduced);
+  unsetenv("SWFT_SCALE");
+}
+
+TEST(Scale, PaperPresetMatchesPaperSection52) {
+  SimConfig cfg;
+  applyScale(cfg, ScalePreset::Paper);
+  EXPECT_EQ(cfg.warmupMessages, 10000u);
+  EXPECT_EQ(cfg.warmupMessages + cfg.measuredMessages, 100000u)
+      << "100,000 messages total, first 10,000 inhibited (paper §5.2)";
+}
+
+TEST(Scale, ReducedPresetIsSmallerButNonTrivial) {
+  SimConfig cfg;
+  applyScale(cfg, ScalePreset::Reduced);
+  EXPECT_GE(cfg.measuredMessages, 2000u);
+  EXPECT_GE(cfg.warmupMessages, 500u);
+  EXPECT_LT(cfg.measuredMessages, 90000u);
+}
+
+}  // namespace
+}  // namespace swft

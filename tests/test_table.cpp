@@ -1,0 +1,64 @@
+#include "src/harness/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+SweepRow fakeRow(const std::string& label, double latency, double throughput,
+                 std::uint64_t queued) {
+  SweepRow row;
+  row.point.label = label;
+  row.point.cfg = SimConfig{};
+  row.result.meanLatency = latency;
+  row.result.throughput = throughput;
+  row.result.messagesQueued = queued;
+  row.result.completed = true;
+  return row;
+}
+
+TEST(Table, ResultFieldLookup) {
+  const SweepRow row = fakeRow("a", 123.5, 0.004, 7);
+  EXPECT_EQ(resultField(row.result, "latency"), 123.5);
+  EXPECT_EQ(resultField(row.result, "throughput"), 0.004);
+  EXPECT_EQ(resultField(row.result, "queued"), 7.0);
+  EXPECT_EQ(resultField(row.result, "saturated"), 0.0);
+  EXPECT_THROW(resultField(row.result, "nonsense"), std::invalid_argument);
+}
+
+TEST(Table, FormatContainsLabelsAndValues) {
+  const std::vector<SweepRow> rows{fakeRow("lambda=0.002", 100.25, 0.002, 0),
+                                   fakeRow("lambda=0.004", 222.5, 0.004, 3)};
+  const std::string out = formatTable(rows, {"latency", "throughput", "queued"});
+  EXPECT_NE(out.find("lambda=0.002"), std::string::npos);
+  EXPECT_NE(out.find("lambda=0.004"), std::string::npos);
+  EXPECT_NE(out.find("100.25"), std::string::npos);
+  EXPECT_NE(out.find("222.5"), std::string::npos);
+  EXPECT_NE(out.find("latency"), std::string::npos);
+}
+
+TEST(Table, SaturationAnnotated) {
+  SweepRow row = fakeRow("hot", 900, 0.01, 0);
+  row.result.saturated = true;
+  const std::string out = formatTable({row}, {"latency"});
+  EXPECT_NE(out.find("[saturated]"), std::string::npos);
+}
+
+TEST(Table, CsvHasOneLinePerRowPlusHeader) {
+  const std::vector<SweepRow> rows{fakeRow("a", 1, 2, 3), fakeRow("b", 4, 5, 6)};
+  const CsvWriter csv = toCsv(rows);
+  EXPECT_EQ(csv.rowCount(), 2u);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("mean_latency"), std::string::npos);
+  EXPECT_NE(text.find("deterministic"), std::string::npos);
+}
+
+TEST(Table, ResultsDirHonoursEnv) {
+  setenv("SWFT_RESULTS_DIR", "/tmp/swft_results_test", 1);
+  EXPECT_EQ(resultsDir(), "/tmp/swft_results_test");
+  unsetenv("SWFT_RESULTS_DIR");
+  EXPECT_EQ(resultsDir(), "results");
+}
+
+}  // namespace
+}  // namespace swft

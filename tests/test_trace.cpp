@@ -1,0 +1,239 @@
+// Path-level verification through the trace recorder: the properties the
+// paper's deadlock/livelock arguments rest on, checked on real executions.
+#include <gtest/gtest.h>
+
+#include "src/sim/network.hpp"
+
+namespace swft {
+namespace {
+
+NodeId at(const TorusTopology& topo, std::initializer_list<int> digits) {
+  Coordinates c;
+  c.digit.resize(digits.size());
+  int i = 0;
+  for (int d : digits) c[i++] = static_cast<std::int16_t>(d);
+  return topo.idOf(c);
+}
+
+/// Split a message's events into network segments: each segment is the hop
+/// list between an Inject/Reinject and the following Absorb/Deliver.
+std::vector<std::vector<TraceEvent>> segments(const std::vector<TraceEvent>& events) {
+  std::vector<std::vector<TraceEvent>> out;
+  std::vector<TraceEvent> cur;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::Inject:
+      case TraceEvent::Kind::Reinject:
+        cur.clear();
+        break;
+      case TraceEvent::Kind::Hop:
+        cur.push_back(e);
+        break;
+      case TraceEvent::Kind::Absorb:
+      case TraceEvent::Kind::Deliver:
+        out.push_back(cur);
+        cur.clear();
+        break;
+    }
+  }
+  return out;
+}
+
+/// Dimension-order check: dims visited within one segment never decrease.
+bool segmentIsDimensionOrdered(const std::vector<TraceEvent>& hops) {
+  int lastDim = -1;
+  for (const TraceEvent& h : hops) {
+    const int dim = dimOfPort(h.port);
+    if (dim < lastDim) return false;
+    lastDim = dim;
+  }
+  return true;
+}
+
+TEST(Trace, RecordsFullLifecycleOfOneMessage) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.injectionRate = 0.0;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  const TorusTopology& topo = net.topology();
+  net.injectTestMessage(at(topo, {0, 0}), at(topo, {3, 2}), 4, RoutingMode::Deterministic);
+  net.run();
+
+  ASSERT_EQ(trace.messageCount(), 1u);
+  const auto& events = trace.eventsFor(0);
+  ASSERT_GE(events.size(), 7u);  // inject + 5 hops + deliver
+  EXPECT_EQ(events.front().kind, TraceEvent::Kind::Inject);
+  EXPECT_EQ(events.back().kind, TraceEvent::Kind::Deliver);
+  EXPECT_EQ(events.back().node, at(topo, {3, 2}));
+  int hops = 0;
+  for (const auto& e : events) hops += (e.kind == TraceEvent::Kind::Hop);
+  EXPECT_EQ(hops, 5);
+  // Cycles are non-decreasing along the trace.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].cycle, events[i - 1].cycle);
+  }
+}
+
+TEST(Trace, DeterministicSegmentsAreDimensionOrderedUnderFaults) {
+  // The deadlock-freedom argument: every in-network segment of every
+  // (possibly multiply absorbed) deterministic message is pure e-cube.
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.injectionRate = 0.004;
+  cfg.messageLength = 8;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1500;
+  cfg.faults.randomNodes = 5;
+  cfg.seed = 71;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  net.run();
+
+  int absorbedMessages = 0;
+  int checkedSegments = 0;
+  for (const std::uint32_t seq : trace.tracedMessages()) {
+    const auto segs = segments(trace.eventsFor(seq));
+    absorbedMessages += (segs.size() > 1);
+    for (const auto& seg : segs) {
+      ++checkedSegments;
+      EXPECT_TRUE(segmentIsDimensionOrdered(seg)) << "message " << seq;
+    }
+  }
+  EXPECT_GT(absorbedMessages, 0) << "the fault set must absorb some messages";
+  EXPECT_GT(checkedSegments, 1500);
+}
+
+TEST(Trace, DeterministicSegmentsDimensionOrderedIn3D) {
+  SimConfig cfg;
+  cfg.radix = 4;
+  cfg.dims = 3;
+  cfg.vcs = 4;
+  cfg.injectionRate = 0.006;
+  cfg.messageLength = 6;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1000;
+  cfg.faults.randomNodes = 5;
+  cfg.seed = 72;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  net.run();
+  for (const std::uint32_t seq : trace.tracedMessages()) {
+    for (const auto& seg : segments(trace.eventsFor(seq))) {
+      ASSERT_TRUE(segmentIsDimensionOrdered(seg)) << "message " << seq;
+    }
+  }
+}
+
+TEST(Trace, FaultFreeAdaptiveHopsAreAllMinimal) {
+  // Duato's protocol without faults: every hop reduces the distance to the
+  // destination by exactly 1 (minimal adaptive routing).
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 6;
+  cfg.routing = RoutingMode::Adaptive;
+  cfg.injectionRate = 0.006;
+  cfg.messageLength = 8;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1000;
+  cfg.seed = 73;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  net.run();
+  const TorusTopology& topo = net.topology();
+
+  for (const std::uint32_t seq : trace.tracedMessages()) {
+    const auto& events = trace.eventsFor(seq);
+    if (events.empty() || events.back().kind != TraceEvent::Kind::Deliver) continue;
+    const NodeId dest = events.back().node;
+    int prevDist = -1;
+    for (const TraceEvent& e : events) {
+      if (e.kind != TraceEvent::Kind::Hop) continue;
+      const int dist = topo.distance(e.node, dest);
+      if (prevDist >= 0) {
+        ASSERT_EQ(dist, prevDist - 1) << "non-minimal adaptive hop, message " << seq;
+      }
+      prevDist = dist;
+    }
+  }
+}
+
+TEST(Trace, AbsorptionEventsMatchQueuedStatistic) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.vcs = 4;
+  cfg.injectionRate = 0.004;
+  cfg.messageLength = 8;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 800;
+  cfg.faults.randomNodes = 4;
+  cfg.seed = 74;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  const SimResult r = net.run();
+
+  std::uint64_t absorbs = 0;
+  std::uint64_t reinjects = 0;
+  for (const std::uint32_t seq : trace.tracedMessages()) {
+    for (const TraceEvent& e : trace.eventsFor(seq)) {
+      absorbs += (e.kind == TraceEvent::Kind::Absorb);
+      reinjects += (e.kind == TraceEvent::Kind::Reinject);
+    }
+  }
+  EXPECT_EQ(absorbs, r.messagesQueued) << "trace and statistics must agree";
+  EXPECT_LE(reinjects, absorbs) << "some absorbed messages may still be queued at stop";
+  EXPECT_GE(reinjects + 64, absorbs) << "most absorptions re-inject promptly";
+}
+
+TEST(Trace, ReinjectionHappensAtTheAbsorptionNode) {
+  SimConfig cfg;
+  cfg.radix = 8;
+  cfg.dims = 2;
+  cfg.injectionRate = 0.0;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 1;
+  const TorusTopology topo(8, 2);
+  cfg.faults.explicitNodes = {at(topo, {2, 1})};
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  net.injectTestMessage(at(topo, {1, 1}), at(topo, {4, 1}), 4, RoutingMode::Deterministic);
+  net.run();
+
+  const auto& events = trace.eventsFor(0);
+  for (std::size_t i = 0; i + 1 < events.size(); ++i) {
+    if (events[i].kind == TraceEvent::Kind::Absorb) {
+      ASSERT_EQ(events[i + 1].kind, TraceEvent::Kind::Reinject);
+      EXPECT_EQ(events[i + 1].node, events[i].node)
+          << "the messaging layer re-injects locally";
+      EXPECT_GE(events[i + 1].cycle, events[i].cycle);
+    }
+  }
+}
+
+TEST(Trace, DetachedRecorderCostsNothing) {
+  SimConfig cfg;
+  cfg.radix = 4;
+  cfg.dims = 2;
+  cfg.injectionRate = 0.01;
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 200;
+  Network net(cfg);  // no recorder attached
+  const SimResult r = net.run();
+  EXPECT_TRUE(r.completed);
+}
+
+}  // namespace
+}  // namespace swft

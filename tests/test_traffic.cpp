@@ -1,0 +1,110 @@
+#include "src/traffic/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace swft {
+namespace {
+
+TEST(Traffic, UniformNeverPicksSelfOrFaulty) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  faults.failNode(10);
+  faults.failNode(20);
+  const TrafficGenerator gen(TrafficPattern::Uniform, faults);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId d = gen.pickDestination(5, rng);
+    ASSERT_NE(d, 5u);
+    ASSERT_FALSE(faults.nodeFaulty(d));
+  }
+}
+
+TEST(Traffic, UniformCoversAllHealthyDestinations) {
+  const TorusTopology topo(4, 2);
+  const FaultSet faults(topo);
+  const TrafficGenerator gen(TrafficPattern::Uniform, faults);
+  Rng rng(2);
+  std::map<NodeId, int> hist;
+  for (int i = 0; i < 20000; ++i) ++hist[gen.pickDestination(0, rng)];
+  EXPECT_EQ(hist.size(), topo.nodeCount() - 1);
+  for (const auto& [node, count] : hist) {
+    EXPECT_GT(count, 20000 / 15 / 3) << "roughly uniform across " << node;
+  }
+}
+
+TEST(Traffic, TransposeRotatesDigits) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);
+  const TrafficGenerator gen(TrafficPattern::Transpose, faults);
+  Rng rng(3);
+  Coordinates c;
+  c.digit.resize(2);
+  c[0] = 2;
+  c[1] = 5;
+  const NodeId src = topo.idOf(c);
+  const NodeId dst = gen.pickDestination(src, rng);
+  const Coordinates dc = topo.coordsOf(dst);
+  EXPECT_EQ(dc[0], 5);
+  EXPECT_EQ(dc[1], 2);
+}
+
+TEST(Traffic, TransposeFixedPointsReturnInvalid) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);
+  const TrafficGenerator gen(TrafficPattern::Transpose, faults);
+  Rng rng(4);
+  Coordinates c;
+  c.digit.resize(2);
+  c[0] = 3;
+  c[1] = 3;  // on the diagonal: transpose maps to self
+  EXPECT_EQ(gen.pickDestination(topo.idOf(c), rng), kInvalidNode);
+}
+
+TEST(Traffic, BitComplementMapsToOppositeCorner) {
+  const TorusTopology topo(8, 3);
+  const FaultSet faults(topo);
+  const TrafficGenerator gen(TrafficPattern::BitComplement, faults);
+  Rng rng(5);
+  const NodeId dst = gen.pickDestination(0, rng);
+  const Coordinates dc = topo.coordsOf(dst);
+  for (int d = 0; d < 3; ++d) EXPECT_EQ(dc[d], 7);
+}
+
+TEST(Traffic, BitComplementToFaultyDestinationSkips) {
+  const TorusTopology topo(8, 2);
+  FaultSet faults(topo);
+  Coordinates c;
+  c.digit.resize(2);
+  c[0] = 7;
+  c[1] = 7;
+  faults.failNode(topo.idOf(c));
+  const TrafficGenerator gen(TrafficPattern::BitComplement, faults);
+  Rng rng(6);
+  EXPECT_EQ(gen.pickDestination(0, rng), kInvalidNode);
+}
+
+TEST(Traffic, HotspotConcentratesRequestedFraction) {
+  const TorusTopology topo(8, 2);
+  const FaultSet faults(topo);
+  const TrafficGenerator gen(TrafficPattern::Hotspot, faults, 0.3);
+  Rng rng(7);
+  std::map<NodeId, int> hist;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++hist[gen.pickDestination(0, rng)];
+  // Find the hotspot: the clear modal destination.
+  int maxCount = 0;
+  for (const auto& [node, count] : hist) maxCount = std::max(maxCount, count);
+  EXPECT_NEAR(static_cast<double>(maxCount) / n, 0.3, 0.03);
+}
+
+TEST(Traffic, PatternNames) {
+  EXPECT_EQ(trafficPatternName(TrafficPattern::Uniform), "uniform");
+  EXPECT_EQ(trafficPatternName(TrafficPattern::Transpose), "transpose");
+  EXPECT_EQ(trafficPatternName(TrafficPattern::BitComplement), "bit-complement");
+  EXPECT_EQ(trafficPatternName(TrafficPattern::Hotspot), "hotspot");
+}
+
+}  // namespace
+}  // namespace swft

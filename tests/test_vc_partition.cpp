@@ -1,0 +1,81 @@
+#include "src/routing/vc_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+namespace swft {
+namespace {
+
+class DeterministicPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterministicPartition, ClassesPartitionAllVcs) {
+  const int v = GetParam();
+  const VcPartition part(RoutingMode::Deterministic, v);
+  EXPECT_EQ(part.escapeCount(), v);
+  EXPECT_EQ(part.adaptiveMask(), 0u) << "deterministic routing has no adaptive VCs";
+  const VcMask all = static_cast<VcMask>((1u << v) - 1);
+  EXPECT_EQ(part.escapeMask(0) | part.escapeMask(1), all);
+  EXPECT_EQ(part.escapeMask(0) & part.escapeMask(1), 0u);
+  // Both wrap classes keep at least one buffer (Dally-Seitz requirement).
+  EXPECT_GE(std::popcount(part.escapeMask(0)), 1);
+  EXPECT_GE(std::popcount(part.escapeMask(1)), 1);
+  // Even V splits evenly.
+  if (v % 2 == 0) {
+    EXPECT_EQ(std::popcount(part.escapeMask(0)), v / 2);
+    EXPECT_EQ(std::popcount(part.escapeMask(1)), v / 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(V, DeterministicPartition, ::testing::Values(2, 3, 4, 6, 10, 16));
+
+class AdaptivePartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdaptivePartition, EscapePairPlusAdaptiveRest) {
+  const int v = GetParam();
+  const VcPartition part(RoutingMode::Adaptive, v);
+  EXPECT_EQ(part.escapeCount(), 2);
+  EXPECT_EQ(part.escapeMask(0), 0b01u) << "VC0 = escape class 0";
+  EXPECT_EQ(part.escapeMask(1), 0b10u) << "VC1 = escape class 1";
+  EXPECT_EQ(std::popcount(part.adaptiveMask()), v - 2);
+  // Escape and adaptive sets are disjoint and cover all V VCs.
+  const VcMask all = static_cast<VcMask>((1u << v) - 1);
+  EXPECT_EQ(part.escapeMask(0) | part.escapeMask(1) | part.adaptiveMask(), all);
+  EXPECT_EQ((part.escapeMask(0) | part.escapeMask(1)) & part.adaptiveMask(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(V, AdaptivePartition, ::testing::Values(2, 3, 4, 6, 10, 16));
+
+TEST(VcPartition, PaperConfigurations) {
+  // V=4/6/10 as in Figs. 3-7.
+  for (int v : {4, 6, 10}) {
+    const VcPartition det(RoutingMode::Deterministic, v);
+    const VcPartition ada(RoutingMode::Adaptive, v);
+    EXPECT_EQ(det.escapeCount(), v);
+    EXPECT_EQ(std::popcount(ada.adaptiveMask()), v - 2);
+  }
+}
+
+TEST(VcPartition, RejectsOutOfRangeV) {
+  EXPECT_THROW(VcPartition(RoutingMode::Deterministic, 1), std::invalid_argument);
+  EXPECT_THROW(VcPartition(RoutingMode::Adaptive, 17), std::invalid_argument);
+}
+
+TEST(VcPartition, ConfigurableEscapePool) {
+  const VcPartition part(RoutingMode::Adaptive, 6, 4);
+  EXPECT_EQ(part.escapeCount(), 4);
+  EXPECT_EQ(std::popcount(part.escapeMask(0)), 2);
+  EXPECT_EQ(std::popcount(part.escapeMask(1)), 2);
+  EXPECT_EQ(std::popcount(part.adaptiveMask()), 2);
+  const VcMask all = static_cast<VcMask>((1u << 6) - 1);
+  EXPECT_EQ(part.escapeMask(0) | part.escapeMask(1) | part.adaptiveMask(), all);
+}
+
+TEST(VcPartition, RejectsBadEscapePool) {
+  EXPECT_THROW(VcPartition(RoutingMode::Adaptive, 6, 3), std::invalid_argument);  // odd
+  EXPECT_THROW(VcPartition(RoutingMode::Adaptive, 4, 6), std::invalid_argument);  // > V
+  EXPECT_THROW(VcPartition(RoutingMode::Adaptive, 6, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swft
