@@ -1,0 +1,25 @@
+// Shared test-name builders for INSTANTIATE_TEST_SUITE_P generators.
+//
+// Names are built with operator+= rather than `"k" + std::to_string(...)`
+// chains: the operator+ form trips GCC 12's -Wrestrict false positive
+// (GCC bug 105651) at -O2, which breaks -Werror builds.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace swft {
+
+inline std::string catName(std::initializer_list<std::string_view> parts) {
+  std::string name;
+  for (const std::string_view part : parts) name += part;
+  return name;
+}
+
+/// The common "k<k>n<n>" grid-suite name.
+inline std::string knName(int k, int n) {
+  return catName({"k", std::to_string(k), "n", std::to_string(n)});
+}
+
+}  // namespace swft

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 #include "src/fault/regions.hpp"
 
 namespace swft {
@@ -30,8 +32,7 @@ INSTANTIATE_TEST_SUITE_P(Grids, CdgAcyclicity,
                                            KnParam{6, 2}, KnParam{8, 2}, KnParam{4, 3},
                                            KnParam{5, 3}, KnParam{3, 4}),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param.k) + "n" +
-                                  std::to_string(info.param.n);
+                           return knName(info.param.k, info.param.n);
                          });
 
 class CdgNegativeControl : public ::testing::TestWithParam<KnParam> {};
@@ -51,8 +52,7 @@ INSTANTIATE_TEST_SUITE_P(Grids, CdgNegativeControl,
                          ::testing::Values(KnParam{4, 1}, KnParam{4, 2}, KnParam{8, 2},
                                            KnParam{6, 2}, KnParam{4, 3}),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param.k) + "n" +
-                                  std::to_string(info.param.n);
+                           return knName(info.param.k, info.param.n);
                          });
 
 TEST(Cdg, TinyRingWithoutLongPathsIsAcyclicEvenUnclassed) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 namespace swft {
 namespace {
 
@@ -43,8 +45,7 @@ INSTANTIATE_TEST_SUITE_P(Grids, AddressSpaceRoundTrip,
                                            KnParam{8, 3}, KnParam{16, 2}, KnParam{3, 5},
                                            KnParam{2, 8}),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param.k) + "n" +
-                                  std::to_string(info.param.n);
+                           return knName(info.param.k, info.param.n);
                          });
 
 TEST(AddressSpace, WrapNormalisesIntoRange) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 namespace swft {
 namespace {
 
@@ -157,8 +159,7 @@ INSTANTIATE_TEST_SUITE_P(Grids, EcubeAllPairs,
                          ::testing::Values(std::pair{4, 2}, std::pair{5, 2}, std::pair{8, 2},
                                            std::pair{4, 3}, std::pair{3, 4}),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param.first) + "n" +
-                                  std::to_string(info.param.second);
+                           return knName(info.param.first, info.param.second);
                          });
 
 }  // namespace

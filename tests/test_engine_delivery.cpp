@@ -2,6 +2,8 @@
 // with no deadlock, no livelock escalation, and exact message conservation.
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 #include "src/sim/network.hpp"
 
 namespace swft {
@@ -16,9 +18,9 @@ struct DeliveryCase {
 
 std::string caseName(const ::testing::TestParamInfo<DeliveryCase>& info) {
   const auto& p = info.param;
-  return "k" + std::to_string(p.k) + "n" + std::to_string(p.n) + "V" +
-         std::to_string(p.vcs) + (p.mode == RoutingMode::Adaptive ? "adp" : "det") +
-         "nf" + std::to_string(p.randomFaults) + "s" + std::to_string(p.seed);
+  return catName({knName(p.k, p.n), "V", std::to_string(p.vcs),
+                  p.mode == RoutingMode::Adaptive ? "adp" : "det", "nf",
+                  std::to_string(p.randomFaults), "s", std::to_string(p.seed)});
 }
 
 class DeliveryProperty : public ::testing::TestWithParam<DeliveryCase> {};

@@ -3,6 +3,8 @@
 // message accounting after every stepping window.
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 #include "src/sim/network.hpp"
 
 namespace swft {
@@ -50,9 +52,9 @@ INSTANTIATE_TEST_SUITE_P(
                       InvariantCase{5, 2, 3, RoutingMode::Deterministic, 2, 0.01}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "k" + std::to_string(p.k) + "n" + std::to_string(p.n) + "V" +
-             std::to_string(p.vcs) + (p.mode == RoutingMode::Adaptive ? "adp" : "det") +
-             "nf" + std::to_string(p.nf);
+      return catName({knName(p.k, p.n), "V", std::to_string(p.vcs),
+                      p.mode == RoutingMode::Adaptive ? "adp" : "det", "nf",
+                      std::to_string(p.nf)});
     });
 
 TEST(Invariants, FreshNetworkIsConsistent) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 #include "src/sim/network.hpp"
 
 namespace swft {
@@ -136,9 +138,9 @@ INSTANTIATE_TEST_SUITE_P(
                       AgreementCase{4, 2, 4, 16, 0.010, 0.30}),
     [](const auto& info) {
       const auto& p = info.param;
-      return "k" + std::to_string(p.k) + "n" + std::to_string(p.n) + "V" +
-             std::to_string(p.vcs) + "M" + std::to_string(p.msgLen) + "r" +
-             std::to_string(static_cast<int>(p.rate * 10000));
+      return catName({knName(p.k, p.n), "V", std::to_string(p.vcs), "M",
+                      std::to_string(p.msgLen), "r",
+                      std::to_string(static_cast<int>(p.rate * 10000))});
     });
 
 }  // namespace

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 namespace swft {
 namespace {
+
+std::string pointLabel(int i) { return catName({"p", std::to_string(i)}); }
 
 SweepPoint tinyPoint(const std::string& label, double rate, std::uint64_t seed) {
   SweepPoint p;
@@ -23,18 +27,18 @@ SweepPoint tinyPoint(const std::string& label, double rate, std::uint64_t seed) 
 TEST(Sweep, PreservesSubmissionOrder) {
   std::vector<SweepPoint> points;
   for (int i = 0; i < 4; ++i) {
-    points.push_back(tinyPoint("p" + std::to_string(i), 0.002 * (i + 1), 10 + i));
+    points.push_back(tinyPoint(pointLabel(i), 0.002 * (i + 1), 10 + i));
   }
   const auto rows = runSweep(points, 1);
   ASSERT_EQ(rows.size(), 4u);
   for (int i = 0; i < 4; ++i) EXPECT_EQ(rows[static_cast<std::size_t>(i)].point.label,
-                                        "p" + std::to_string(i));
+                                        pointLabel(i));
 }
 
 TEST(Sweep, ParallelAndSerialResultsIdentical) {
   std::vector<SweepPoint> points;
   for (int i = 0; i < 6; ++i) {
-    points.push_back(tinyPoint("p" + std::to_string(i), 0.003, 20 + i));
+    points.push_back(tinyPoint(pointLabel(i), 0.003, 20 + i));
   }
   const auto serial = runSweep(points, 1);
   const auto parallel = runSweep(points, 4);

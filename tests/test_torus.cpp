@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/naming.hpp"
+
 namespace swft {
 namespace {
 
@@ -128,7 +130,9 @@ TEST_P(TorusParam, DiameterIsNTimesHalfK) {
   for (NodeId a = 0; a < n; a += stride)
     for (NodeId b = 0; b < n; b += stride) maxDist = std::max(maxDist, t.distance(a, b));
   EXPECT_LE(maxDist, t.dims() * (t.radix() / 2));
-  if (stride == 1) EXPECT_EQ(maxDist, t.dims() * (t.radix() / 2));
+  if (stride == 1) {
+    EXPECT_EQ(maxDist, t.dims() * (t.radix() / 2));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Grids, TorusParam,
@@ -137,8 +141,7 @@ INSTANTIATE_TEST_SUITE_P(Grids, TorusParam,
                                            KnParam{16, 2}, KnParam{3, 4}, KnParam{2, 3},
                                            KnParam{4, 4}),
                          [](const auto& info) {
-                           return "k" + std::to_string(info.param.k) + "n" +
-                                  std::to_string(info.param.n);
+                           return knName(info.param.k, info.param.n);
                          });
 
 TEST(Torus, WrapLinkPositions8ary) {
