@@ -12,6 +12,15 @@
 
 namespace swft {
 
+/// Cycle-engine implementation selector. `Sparse` (default) is the
+/// event-sparse engine: a calendar queue for generation, active-set bitsets
+/// for injection and router sweeps, contiguous arena storage. `Dense` is the
+/// straightforward all-nodes reference sweep retained for equivalence
+/// testing and as the "before" side of the perf baseline. The two produce
+/// bit-identical SimResults by construction (see DESIGN.md); anything else
+/// is a bug.
+enum class EngineKind : std::uint8_t { Sparse = 0, Dense = 1 };
+
 /// Declarative fault pattern: applied to a fresh FaultSet at network build.
 struct FaultSpec {
   int randomNodes = 0;                  // assumption (h): random node faults
@@ -50,6 +59,8 @@ struct SimConfig {
   std::uint64_t maxCycles = 1'500'000;
   std::uint64_t deadlockWindow = 20'000;  // watchdog: cycles without any flit movement
   std::uint64_t seed = 1;
+  // --- engine ----------------------------------------------------------
+  EngineKind engine = EngineKind::Sparse;
 
   [[nodiscard]] std::string routingName() const {
     return routing == RoutingMode::Deterministic ? "deterministic" : "adaptive";

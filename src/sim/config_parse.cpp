@@ -131,6 +131,14 @@ void applyConfigAssignment(SimConfig& cfg, const std::string& assignment) {
     } else {
       fail("config: unknown traffic pattern '" + value + "'");
     }
+  } else if (key == "engine") {
+    if (value == "sparse") {
+      cfg.engine = EngineKind::Sparse;
+    } else if (value == "dense") {
+      cfg.engine = EngineKind::Dense;
+    } else {
+      fail("config: engine must be sparse|dense, got '" + value + "'");
+    }
   } else if (key == "region") {
     cfg.faults.regions.push_back(parseRegion(cfg, value));
   } else {

@@ -6,6 +6,19 @@
 // when the downstream buffer has a free slot. A flit that arrived in cycle t
 // becomes eligible to depart in cycle t+1, which yields exactly one
 // cycle/hop end to end.
+//
+// This file is the event-sparse production engine: the generation calendar
+// yields only due PEs, the nodeWork_ bitset yields only PEs with
+// queued/streaming messages, and the arena's active set yields only routers
+// with any occupied input unit. The dense reference engine (the seed
+// implementation) lives in engine_dense.cpp.
+//
+// The sparse walks visit exactly the nodes whose step functions would do
+// observable work, in exactly the order the dense sweep visits them — so the
+// two engines draw the same RNG sequences and produce bit-identical results
+// (enforced by tests/test_engine_equivalence.cpp). Invariant for future
+// edits: activity tracking may skip provably-dead work, never reorder or
+// change live work.
 #include <bit>
 #include <cassert>
 
@@ -14,27 +27,69 @@
 namespace swft {
 
 void Network::advanceCycle() {
-  // Phase 1: PEs generate traffic and stream flits into injection VCs.
-  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
-    stepGeneration(id);
-    stepInjection(id);
+  if (cfg_.engine == EngineKind::Dense) {
+    advanceCycleDense();
+  } else {
+    advanceCycleSparse();
   }
-
-  // Phase 2+3 per router. Alternate the sweep direction each cycle so the
-  // single-pass commit semantics do not systematically favour low ids.
-  const bool forward = (cycle_ & 1) == 0;
-  const auto n = static_cast<std::int64_t>(topo_.nodeCount());
-  for (std::int64_t i = 0; i < n; ++i) {
-    const NodeId id = static_cast<NodeId>(forward ? i : n - 1 - i);
-    if (!routers_[id].anyOccupied()) continue;
-    stepRouter(id);
-  }
-
   ++cycle_;
 
   // Deadlock watchdog (invariant: must never fire; see tests).
   if (pool_.liveCount() > 0 && cycle_ - lastMovementCycle_ > cfg_.deadlockWindow) {
     deadlockSuspected_ = true;
+  }
+}
+
+void Network::advanceCycleSparse() {
+  // Phase 1a: generation, due PEs only. The calendar returns them ascending
+  // by id — the order the dense sweep would reach them — so the global
+  // generation sequence numbers match. Generation touches no injection
+  // state of *other* nodes, so running all generations before all
+  // injections is observationally identical to the dense gen/inj interleave.
+  for (NodeId id : calendar_.takeDue(cycle_)) {
+    stepGeneration(id);
+    const std::uint64_t next = nodes_[id].nextGenCycle;
+    if (next != ~std::uint64_t{0}) calendar_.schedule(id, next);
+  }
+
+  // Phase 1b: injection, only PEs with queued or streaming work, ascending.
+  // stepInjection on a workless node is a no-op with no RNG draws, so the
+  // conservative bitset (cleared lazily here) cannot change results.
+  for (std::size_t w = 0; w < nodeWork_.size(); ++w) {
+    std::uint64_t bits = nodeWork_[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto id = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      if (stepInjection(id)) nodeWork_[w] &= ~(1ULL << b);
+    }
+  }
+
+  // Phase 2+3: walk the live active set in the alternating sweep direction.
+  // stepRouter can activate a *downstream* router mid-sweep (a flit pushed
+  // into a previously-empty buffer); the dense sweep visits such a router
+  // if and only if it lies later in sweep order, so the walk re-reads the
+  // current word after every step instead of iterating a stale snapshot.
+  const std::vector<std::uint64_t>& active = arena_.activeWords();
+  const bool forward = (cycle_ & 1) == 0;
+  if (forward) {
+    for (std::size_t w = 0; w < active.size(); ++w) {
+      std::uint64_t bits = active[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        stepRouter(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits = (b == 63) ? 0 : (active[w] & (~0ULL << (b + 1)));
+      }
+    }
+  } else {
+    for (std::size_t w = active.size(); w-- > 0;) {
+      std::uint64_t bits = active[w];
+      while (bits) {
+        const int b = 63 - std::countl_zero(bits);
+        stepRouter(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits = active[w] & ((1ULL << b) - 1);
+      }
+    }
   }
 }
 
@@ -54,6 +109,7 @@ void Network::stepGeneration(NodeId id) {
     m.length = static_cast<std::uint16_t>(cfg_.messageLength);
     m.mode = cfg_.routing;
     node.sourceQueue.push_back(msgId);
+    markNodeWork(id);
     ++generatedTotal_;
     if (!windowOpen_ && genSeq_ >= cfg_.warmupMessages) {
       windowOpen_ = true;
@@ -62,37 +118,45 @@ void Network::stepGeneration(NodeId id) {
   }
 }
 
-void Network::stepInjection(NodeId id) {
+bool Network::stepInjection(NodeId id) {
   NodeState& node = nodes_[id];
-  RouterState& router = routers_[id];
   const int injPort = topo_.localPort();
 
   // Pick the next message to stream: absorbed messages have priority over
-  // new messages (paper §4, starvation prevention).
+  // new messages (paper §4, starvation prevention). Peek, don't pop — if
+  // every injection VC turns out to be busy the message must stay exactly
+  // where it is, keeping its readyCycle and its absorbed-over-new priority.
   if (node.streaming == kInvalidMsg) {
     MsgId next = kInvalidMsg;
+    bool fromSwQueue = false;
     if (!node.swQueue.empty() && node.swQueue.front().readyCycle <= cycle_) {
       next = node.swQueue.front().msg;
-      node.swQueue.pop_front();
+      fromSwQueue = true;
     } else if (!node.sourceQueue.empty()) {
       next = node.sourceQueue.front();
-      node.sourceQueue.pop_front();
     }
-    if (next == kInvalidMsg) return;
+    // Idle exactly when both queues are drained (a waiting reinjection
+    // with a future readyCycle still counts as work).
+    if (next == kInvalidMsg) return node.swQueue.empty() && node.sourceQueue.empty();
     // Choose an injection VC whose buffer is empty; rotate the start index
-    // to spread successive messages over the V injection buffers.
+    // (one RNG draw, unsigned arithmetic) to spread successive messages
+    // over the V injection buffers.
+    const auto start = static_cast<std::uint32_t>(engineRng_.next() >> 32);
     int chosenVc = -1;
     for (int i = 0; i < cfg_.vcs; ++i) {
-      const int vc = static_cast<int>((engineRng_.next() >> 32) + i) % cfg_.vcs;
-      if (router.unit(injPort, vc).buf.empty() && !router.unit(injPort, vc).routed) {
+      const int vc = static_cast<int>((start + static_cast<std::uint32_t>(i)) %
+                                      static_cast<std::uint32_t>(cfg_.vcs));
+      const int g = arena_.unitIndex(id, injPort, vc);
+      if (arena_.empty(g) && !arena_.routed(g)) {
         chosenVc = vc;
         break;
       }
     }
-    if (chosenVc < 0) {
-      // All injection buffers busy: put the message back and retry later.
-      node.sourceQueue.push_front(next);
-      return;
+    if (chosenVc < 0) return false;  // all injection buffers busy: retry later
+    if (fromSwQueue) {
+      node.swQueue.pop_front();
+    } else {
+      node.sourceQueue.pop_front();
     }
     node.streaming = next;
     node.streamVc = chosenVc;
@@ -104,16 +168,13 @@ void Network::stepInjection(NodeId id) {
   }
 
   // Stream one flit per cycle (injection channel bandwidth, assumption (g)).
+  const int unitIdx = arena_.unitIndex(id, injPort, node.streamVc);
+  if (arena_.full(unitIdx)) return false;
   Message& m = pool_.get(node.streaming);
-  const int unitIdx = router.unitIndex(injPort, node.streamVc);
-  InputUnit& unit = router.unit(unitIdx);
-  if (unit.buf.full()) return;
   Flit f;
   f.msg = node.streaming;
   f.kind = m.flitKindAt(node.nextFlit);
-  const bool wasEmpty = unit.buf.empty();
-  unit.buf.push(f, cycle_);
-  if (wasEmpty) router.markOccupied(unitIdx);
+  arena_.push(id, unitIdx, f, cycle_);
   lastMovementCycle_ = cycle_;
   if (trace_ != nullptr && node.nextFlit == 0) {
     trace_->record({m.absorptions > 0 ? TraceEvent::Kind::Reinject
@@ -124,13 +185,14 @@ void Network::stepInjection(NodeId id) {
   if (f.isTail()) {
     node.streaming = kInvalidMsg;
     node.streamVc = -1;
+    return node.swQueue.empty() && node.sourceQueue.empty();
   }
+  return false;
 }
 
 void Network::routeHeader(NodeId id, int unitIdx) {
-  RouterState& router = routers_[id];
-  InputUnit& unit = router.unit(unitIdx);
-  Message& msg = pool_.get(unit.buf.front().msg);
+  const int g = arena_.base(id) + unitIdx;
+  Message& msg = pool_.get(arena_.front(g).msg);
 
   RouteDecision decision;
   if (msg.curTarget == id) {
@@ -143,8 +205,7 @@ void Network::routeHeader(NodeId id, int unitIdx) {
 
   switch (decision.kind) {
     case RouteDecision::Kind::Deliver:
-      unit.routed = true;
-      unit.outPort = static_cast<std::uint8_t>(topo_.localPort());
+      arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0);
       return;
     case RouteDecision::Kind::Absorb:
       // The required outgoing channel leads to a fault: eject here and hand
@@ -152,8 +213,7 @@ void Network::routeHeader(NodeId id, int unitIdx) {
       msg.blockedValid = true;
       msg.blockedDim = decision.blockedDim;
       msg.blockedDirStep = decision.blockedDirStep;
-      unit.routed = true;
-      unit.outPort = static_cast<std::uint8_t>(topo_.localPort());
+      arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0);
       return;
     case RouteDecision::Kind::Forward:
       break;
@@ -167,7 +227,7 @@ void Network::routeHeader(NodeId id, int unitIdx) {
     if (free.size() == free.capacity()) break;
     for (int vc = 0; vc < cfg_.vcs; ++vc) {
       if (!(cand.vcs & (1u << vc))) continue;
-      if (router.outOwner(cand.outPort, vc) >= 0) continue;
+      if (arena_.outOwner(id, cand.outPort, vc) >= 0) continue;
       free.push_back(static_cast<std::uint16_t>(cand.outPort * 16 + vc));
       if (free.size() == free.capacity()) break;
     }
@@ -177,72 +237,127 @@ void Network::routeHeader(NodeId id, int unitIdx) {
       free[engineRng_.uniform(static_cast<std::uint32_t>(free.size()))];
   const int outPort = pick / 16;
   const int outVc = pick % 16;
-  unit.routed = true;
-  unit.outPort = static_cast<std::uint8_t>(outPort);
-  unit.outVc = static_cast<std::uint8_t>(outVc);
-  router.setOutOwner(outPort, outVc, static_cast<std::int16_t>(unitIdx));
+  arena_.allocateRoute(id, unitIdx, outPort, outVc);
+  arena_.setOutOwner(id, outPort, outVc, static_cast<std::int16_t>(unitIdx));
 }
 
 void Network::stepRouter(NodeId id) {
-  RouterState& router = routers_[id];
   const int ports = topo_.totalPorts();
   const int localPort = topo_.localPort();
   const auto td = static_cast<std::uint64_t>(cfg_.routerDecisionTime);
+  const int routerBase = arena_.base(id);
+  const int unitCount = arena_.unitsPerRouter();
+  const int occW = arena_.occWordsPerRouter();
+  const std::uint64_t* occ = arena_.occWords(id);
 
-  // Single pass over occupied units: route-compute unrouted headers, then
-  // record switch requests; per output port keep the round-robin-best
-  // eligible requester. (portOf(dim, opposite(dir)) == port ^ 1.)
-  InlineVector<std::int16_t, 2 * kMaxDims + 1> winner;
-  InlineVector<std::int16_t, 2 * kMaxDims + 1> winnerKey;
-  winner.resize(static_cast<std::size_t>(ports), -1);
-  winnerKey.resize(static_cast<std::size_t>(ports), std::int16_t{0x7FFF});
-
-  const auto& occ = router.occupancy();
-  const int unitCount = router.unitCount();
-  for (int w = 0; w < RouterState::kOccWords; ++w) {
-    std::uint64_t bits = occ[w];
-    while (bits) {
-      const int unitIdx = w * 64 + std::countr_zero(bits);
-      bits &= bits - 1;
-      InputUnit& unit = router.unit(unitIdx);
-      if (!unit.routed) {
-        if (!unit.buf.front().isHeader()) continue;
-        if (unit.buf.frontArrival() + td > cycle_) continue;  // Td model
+  // Phase A: route computation + VC allocation for occupied unrouted heads,
+  // in ascending unit order. This is the only RNG-drawing part of a router
+  // step, so the order must match the dense reference scan exactly.
+  {
+    const std::uint64_t* routedW = arena_.routedWords(id);
+    for (int w = 0; w < occW; ++w) {
+      std::uint64_t bits = occ[w] & ~routedW[w];
+      while (bits) {
+        const int unitIdx = w * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        const int g = routerBase + unitIdx;
+        if (!arena_.front(g).isHeader()) continue;
+        if (arena_.frontArrival(g) + td > cycle_) continue;  // Td model
         routeHeader(id, unitIdx);
-        if (!unit.routed) continue;
-      }
-      if (unit.buf.frontArrival() >= cycle_) continue;  // arrived this cycle
-      const int port = unit.outPort;
-      if (port != localPort) {
-        // Credit check: the downstream input buffer must have a free slot.
-        const RouterState& downRouter = routers_[cachedNeighbor(id, port)];
-        if (downRouter.unit((port ^ 1) * cfg_.vcs + unit.outVc).buf.full()) continue;
-      }
-      // Round-robin key relative to the port cursor (branch beats modulo).
-      int key = unitIdx - router.cursor(port);
-      if (key < 0) key += unitCount;
-      if (key < winnerKey[static_cast<std::size_t>(port)]) {
-        winnerKey[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(key);
-        winner[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(unitIdx);
       }
     }
   }
 
+  // Phase B winner selection: per output port, the first *eligible*
+  // requester (front flit arrived before this cycle, downstream credit
+  // available) in circular round-robin order from the port cursor — exactly
+  // the min-key winner of the dense reference's full scan. Two strategies
+  // pick the same winners: nearly-empty routers scan their few occupied
+  // units directly; busy routers walk the per-port request masks so the
+  // cost is O(requesters probed), not O(occupied units).
+  InlineVector<std::int16_t, 2 * kMaxDims + 1> winner;
+  winner.resize(static_cast<std::size_t>(ports), -1);
+  const auto eligible = [&](int unitIdx, int port) -> bool {
+    const int g = routerBase + unitIdx;
+    if (arena_.frontArrival(g) >= cycle_) return false;  // arrived this cycle
+    if (port != localPort &&
+        arena_.full(cachedDownBase(id, port) +
+                    RouterArena::wordOutVc(arena_.routeWord(g)))) {
+      return false;  // no downstream credit
+    }
+    return true;
+  };
+
+  if (arena_.occupiedUnits(id) < ports) {
+    // Sparse router: one pass over the few occupied units, min round-robin
+    // key per port.
+    InlineVector<std::int16_t, 2 * kMaxDims + 1> winnerKey;
+    winnerKey.resize(static_cast<std::size_t>(ports), std::int16_t{0x7FFF});
+    const std::uint64_t* routedW = arena_.routedWords(id);
+    for (int w = 0; w < occW; ++w) {
+      std::uint64_t bits = occ[w] & routedW[w];
+      while (bits) {
+        const int unitIdx = w * 64 + std::countr_zero(bits);
+        bits &= bits - 1;
+        const int port =
+            RouterArena::wordOutPort(arena_.routeWord(routerBase + unitIdx));
+        if (!eligible(unitIdx, port)) continue;
+        int key = unitIdx - arena_.cursor(id, port);
+        if (key < 0) key += unitCount;
+        if (key < winnerKey[static_cast<std::size_t>(port)]) {
+          winnerKey[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(key);
+          winner[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(unitIdx);
+        }
+      }
+    }
+  } else {
+    for (int port = 0; port < ports; ++port) {
+      const std::uint64_t* req = arena_.requestWords(id, port);
+      const int cur = arena_.cursor(id, port);
+      const int cw = cur >> 6;
+      const int cb = cur & 63;
+      for (int k = 0; k <= occW && winner[static_cast<std::size_t>(port)] < 0; ++k) {
+        int w = cw + k;
+        if (w >= occW) w -= occW;
+        std::uint64_t m = req[w] & occ[w];
+        if (k == 0) {
+          m &= ~0ULL << cb;
+        } else if (k == occW) {
+          m &= (cb == 0) ? 0 : ((1ULL << cb) - 1);  // wrapped tail of cursor word
+        }
+        while (m) {
+          const int unitIdx = w * 64 + std::countr_zero(m);
+          m &= m - 1;
+          if (!eligible(unitIdx, port)) continue;
+          winner[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(unitIdx);
+          break;
+        }
+      }
+    }
+  }
+
+  // Commit pass: switch traversal for each port's winner, ejection port
+  // last so software-layer RNG draws (absorption replanning) stay in the
+  // dense engine's position in the stream.
   for (int port = 0; port < ports; ++port) {
-    const int unitIdx = winner[static_cast<std::size_t>(port)];
-    if (unitIdx < 0) continue;
-    router.setCursor(port, static_cast<std::uint16_t>((unitIdx + 1) % unitCount));
+    const int winnerIdx = winner[static_cast<std::size_t>(port)];
+    if (winnerIdx < 0) continue;
+    arena_.setCursor(id, port,
+                     static_cast<std::uint16_t>(
+                         winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
     if (port == localPort) {
-      ejectFlit(id, unitIdx);
+      ejectFlit(id, winnerIdx);
       continue;
     }
-    InputUnit& unit = router.unit(unitIdx);
-    const Flit flit = unit.buf.pop();
-    if (unit.buf.empty()) router.markEmpty(unitIdx);
+    const int g = routerBase + winnerIdx;
+    const int outVc = arena_.outVc(g);
+    const Flit flit = arena_.pop(id, g);
     lastMovementCycle_ = cycle_;
 
-    Message& msg = pool_.get(flit.msg);
+    // Only headers touch Message state on a link traversal: body/tail flits
+    // skip the (random-access) pool load entirely.
     if (flit.isHeader()) {
+      Message& msg = pool_.get(flit.msg);
       ++msg.hops;
       if (cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
       if (trace_ != nullptr) {
@@ -250,31 +365,25 @@ void Network::stepRouter(NodeId id) {
                         static_cast<std::uint8_t>(port), msg.seq});
       }
     }
-    RouterState& downRouter = routers_[cachedNeighbor(id, port)];
-    const int downUnitIdx = downRouter.unitIndex(port ^ 1, unit.outVc);
-    InputUnit& downUnit = downRouter.unit(downUnitIdx);
-    const bool wasEmpty = downUnit.buf.empty();
-    downUnit.buf.push(flit, cycle_);
-    if (wasEmpty) downRouter.markOccupied(downUnitIdx);
+    arena_.push(cachedNeighbor(id, port), cachedDownBase(id, port) + outVc, flit,
+                cycle_);
 
     if (flit.isTail()) {
-      unit.routed = false;
-      router.setOutOwner(port, unit.outVc, -1);
+      arena_.releaseRoute(id, winnerIdx);
+      arena_.setOutOwner(id, port, outVc, -1);
     }
   }
 }
 
 void Network::ejectFlit(NodeId id, int unitIdx) {
-  RouterState& router = routers_[id];
-  InputUnit& unit = router.unit(unitIdx);
-  const Flit flit = unit.buf.pop();
-  if (unit.buf.empty()) router.markEmpty(unitIdx);
+  const int g = arena_.base(id) + unitIdx;
+  const Flit flit = arena_.pop(id, g);
   lastMovementCycle_ = cycle_;
 
   Message& msg = pool_.get(flit.msg);
   ++msg.flitsEjected;
   if (flit.isTail()) {
-    unit.routed = false;
+    arena_.releaseRoute(id, unitIdx);
     finalizeEjected(id, flit.msg);
   }
 }
@@ -312,6 +421,7 @@ void Network::finalizeEjected(NodeId id, MsgId msgId) {
 void Network::scheduleReinjection(NodeId id, MsgId msgId) {
   nodes_[id].swQueue.push_back(
       PendingReinjection{msgId, cycle_ + static_cast<std::uint64_t>(cfg_.reinjectDelay)});
+  markNodeWork(id);
 }
 
 }  // namespace swft

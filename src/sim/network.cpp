@@ -1,5 +1,6 @@
 #include "src/sim/network.hpp"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -34,17 +35,27 @@ Network::Network(const SimConfig& cfg)
       software0_(std::make_unique<SoftwareLayer>(topo_, faults_, cfg.livelockThreshold)),
       software_(*software0_),
       traffic_(cfg.pattern, faults_),
+      arena_(static_cast<int>(topo_.nodeCount()), topo_.totalPorts(),
+             topo_.networkPorts(), cfg.vcs, cfg.bufferDepth),
       engineRng_(Rng(cfg.seed).split(0xE61E)) {
-  routers_.reserve(topo_.nodeCount());
+  if (cfg.engine == EngineKind::Dense) {
+    // The dense reference engine runs on the seed's per-router storage; the
+    // arena stays unused (it is cheap to construct and keeps the type simple).
+    legacy_.reserve(topo_.nodeCount());
+    for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+      legacy_.emplace_back(topo_.totalPorts(), topo_.networkPorts(), cfg.vcs,
+                           cfg.bufferDepth);
+    }
+  }
   nodes_.reserve(topo_.nodeCount());
+  nodeWork_.resize((static_cast<std::size_t>(topo_.nodeCount()) + 63) / 64, 0);
   const Rng nodeSeeder = Rng(cfg.seed).split(0x50DE);
   for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
-    routers_.emplace_back(topo_.totalPorts(), topo_.networkPorts(), cfg.vcs,
-                          cfg.bufferDepth);
     NodeState node;
     node.rng = nodeSeeder.split(id);
     if (cfg.injectionRate > 0.0 && !faults_.nodeFaulty(id)) {
       node.nextGenCycle = node.rng.geometric(cfg.injectionRate);
+      calendar_.schedule(id, node.nextGenCycle);
     } else {
       node.nextGenCycle = ~std::uint64_t{0};
     }
@@ -55,6 +66,7 @@ Network::Network(const SimConfig& cfg)
   nbr_.resize(static_cast<std::size_t>(topo_.nodeCount()) *
               static_cast<std::size_t>(networkPorts_));
   wrapBit_.resize(nbr_.size());
+  downBase_.resize(nbr_.size());
   for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
     for (int port = 0; port < networkPorts_; ++port) {
       const std::size_t idx =
@@ -62,6 +74,8 @@ Network::Network(const SimConfig& cfg)
           static_cast<std::size_t>(port);
       nbr_[idx] = topo_.neighbor(id, port);
       wrapBit_[idx] = topo_.isWrapLink(id, dimOfPort(port), dirOfPort(port)) ? 1 : 0;
+      downBase_[idx] = static_cast<std::int32_t>(arena_.base(nbr_[idx]) +
+                                                 (port ^ 1) * cfg.vcs);
     }
   }
   if (cfg.warmupMessages == 0) {
@@ -84,6 +98,7 @@ MsgId Network::injectTestMessage(NodeId src, NodeId dest, int length, RoutingMod
   m.length = static_cast<std::uint16_t>(length);
   m.mode = mode;
   nodes_[src].sourceQueue.push_back(id);
+  markNodeWork(src);
   ++generatedTotal_;
   return id;
 }
@@ -149,50 +164,106 @@ void Network::step(std::uint64_t cycles) {
 SimResult runSimulation(const SimConfig& cfg) { return Network(cfg).run(); }
 
 std::string Network::validateInvariants() const {
-  const int vcs = cfg_.vcs;
+  if (cfg_.engine == EngineKind::Dense) {
+    std::string v = validateLegacyRouters();
+    if (!v.empty()) return v;
+  } else {
+    std::string v = validateArenaRouters();
+    if (!v.empty()) return v;
+  }
+  // Shared checks, independent of the storage backend.
+  // Message accounting: pool live count covers queued + in-network flits.
+  std::size_t queued = 0;
+  for (const NodeState& n : nodes_) queued += n.queuedMessages();
+  if (queued > pool_.liveCount()) {
+    return "more queued messages than live pool slots";
+  }
+  // Injection-side work set covers every node with pending work (the
+  // sparse engine never visits a node whose bit is clear, so a clear bit
+  // with queued/streaming work would silently stall that node).
   for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
-    const RouterState& router = routers_[id];
-    // 1. Occupancy bits mirror buffer emptiness exactly.
-    for (int u = 0; u < router.unitCount(); ++u) {
-      const bool bit = (router.occupancy()[static_cast<std::size_t>(u) >> 6] >>
-                        (u & 63)) & 1u;
-      const bool nonEmpty = !router.unit(u).buf.empty();
+    const bool bit = (nodeWork_[static_cast<std::size_t>(id) >> 6] >> (id & 63)) & 1u;
+    if (!bit && !nodeIdle(id)) {
+      return "work-set bit clear for busy node " + std::to_string(id);
+    }
+  }
+  return {};
+}
+
+std::string Network::validateArenaRouters() const {
+  const int vcs = cfg_.vcs;
+  const int unitCount = arena_.unitsPerRouter();
+  for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
+    const std::uint64_t* occ = arena_.occWords(id);
+    // 1. Occupancy bits, the occupied-unit count and the network-level
+    //    active bit all mirror buffer emptiness exactly.
+    int occupied = 0;
+    for (int u = 0; u < unitCount; ++u) {
+      const bool bit = (occ[u >> 6] >> (u & 63)) & 1u;
+      const bool nonEmpty = !arena_.empty(arena_.base(id) + u);
       if (bit != nonEmpty) {
         return "occupancy bit mismatch at node " + std::to_string(id) + " unit " +
                std::to_string(u);
       }
+      occupied += nonEmpty ? 1 : 0;
+    }
+    if (occupied != arena_.occupiedUnits(id)) {
+      return "occupied-unit count mismatch at node " + std::to_string(id);
+    }
+    const bool activeBit =
+        (arena_.activeWords()[static_cast<std::size_t>(id) >> 6] >> (id & 63)) & 1u;
+    if (activeBit != (occupied > 0)) {
+      return "active-set bit mismatch at node " + std::to_string(id);
     }
     // 2. Output-VC ownership: every owner refers to a routed unit whose
     //    allocation points back at exactly that (port, vc).
     for (int port = 0; port < topo_.networkPorts(); ++port) {
       for (int vc = 0; vc < vcs; ++vc) {
-        const std::int16_t owner = router.outOwner(port, vc);
+        const std::int16_t owner = arena_.outOwner(id, port, vc);
         if (owner < 0) continue;
-        if (owner >= router.unitCount()) {
+        if (owner >= unitCount) {
           return "out-of-range output owner at node " + std::to_string(id);
         }
-        const InputUnit& unit = router.unit(owner);
-        if (!unit.routed || unit.outPort != port || unit.outVc != vc) {
+        const int g = arena_.base(id) + owner;
+        if (!arena_.routed(g) || arena_.outPort(g) != port || arena_.outVc(g) != vc) {
           return "inconsistent output ownership at node " + std::to_string(id) +
                  " port " + std::to_string(port) + " vc " + std::to_string(vc);
         }
       }
     }
     // 3. A routed unit targeting a network port must hold that output VC.
-    for (int u = 0; u < router.unitCount(); ++u) {
-      const InputUnit& unit = router.unit(u);
-      if (!unit.routed || unit.outPort == topo_.localPort()) continue;
-      if (router.outOwner(unit.outPort, unit.outVc) != static_cast<std::int16_t>(u)) {
+    for (int u = 0; u < unitCount; ++u) {
+      const int g = arena_.base(id) + u;
+      if (!arena_.routed(g) || arena_.outPort(g) == topo_.localPort()) continue;
+      if (arena_.outOwner(id, arena_.outPort(g), arena_.outVc(g)) !=
+          static_cast<std::int16_t>(u)) {
         return "routed unit without matching ownership at node " + std::to_string(id);
+      }
+    }
+    // 3b. The routed mask and per-port request masks mirror the route words.
+    for (int u = 0; u < unitCount; ++u) {
+      const int g = arena_.base(id) + u;
+      const bool routedBit = (arena_.routedWords(id)[u >> 6] >> (u & 63)) & 1u;
+      if (routedBit != arena_.routed(g)) {
+        return "routed-mask mismatch at node " + std::to_string(id) + " unit " +
+               std::to_string(u);
+      }
+      for (int port = 0; port < topo_.totalPorts(); ++port) {
+        const bool reqBit = (arena_.requestWords(id, port)[u >> 6] >> (u & 63)) & 1u;
+        const bool expected = arena_.routed(g) && arena_.outPort(g) == port;
+        if (reqBit != expected) {
+          return "request-mask mismatch at node " + std::to_string(id) + " unit " +
+                 std::to_string(u) + " port " + std::to_string(port);
+        }
       }
     }
     // 4. Wormhole contiguity: within a VC buffer, flits between a header and
     //    its tail belong to one message, and kinds follow H (B*) T framing.
-    for (int u = 0; u < router.unitCount(); ++u) {
-      FlitFifo copy = router.unit(u).buf;  // value copy: safe to drain
+    for (int u = 0; u < unitCount; ++u) {
+      const int g = arena_.base(id) + u;
       MsgId current = kInvalidMsg;
-      while (!copy.empty()) {
-        const Flit f = copy.pop();
+      for (int i = 0; i < arena_.size(g); ++i) {
+        const Flit& f = arena_.flitAt(g, i);
         if (current == kInvalidMsg) {
           // First flit of a framing span: either a header, or the mid-drain
           // remainder of a message whose header departed earlier.
@@ -203,12 +274,6 @@ std::string Network::validateInvariants() const {
         if (f.isTail()) current = kInvalidMsg;
       }
     }
-  }
-  // 5. Message accounting: pool live count covers queued + in-network flits.
-  std::size_t queued = 0;
-  for (const NodeState& n : nodes_) queued += n.queuedMessages();
-  if (queued > pool_.liveCount()) {
-    return "more queued messages than live pool slots";
   }
   return {};
 }

@@ -1,6 +1,19 @@
 // The simulated network: topology + faults + routers + PEs + the cycle
 // engine implementing flit-level wormhole switching with Software-Based
 // fault-tolerant routing (paper §4, §5).
+//
+// Two engine implementations coexist (selected by `cfg.engine`):
+//
+//   Sparse (engine.cpp)        — the production event-sparse engine over the
+//                                contiguous RouterArena.
+//   Dense  (engine_dense.cpp)  — the seed engine, kept deliberately
+//                                verbatim (per-router RouterState storage,
+//                                all-nodes sweep) as the reference
+//                                implementation and the "before" side of
+//                                bench/kernel_microbench's perf baseline.
+//
+// The two must produce bit-identical SimResults for identical configs;
+// tests/test_engine_equivalence.cpp enforces it.
 #pragma once
 
 #include <memory>
@@ -11,7 +24,9 @@
 #include "src/routing/ecube.hpp"
 #include "src/routing/software_layer.hpp"
 #include "src/sim/config.hpp"
+#include "src/sim/gen_calendar.hpp"
 #include "src/sim/node.hpp"
+#include "src/sim/router_arena.hpp"
 #include "src/sim/router_state.hpp"
 #include "src/sim/stats.hpp"
 #include "src/sim/trace.hpp"
@@ -43,7 +58,7 @@ class Network {
   [[nodiscard]] std::uint64_t delivered() const noexcept { return deliveredTotal_; }
   [[nodiscard]] std::uint64_t inFlight() const noexcept { return pool_.liveCount(); }
   [[nodiscard]] bool deadlockSuspected() const noexcept { return deadlockSuspected_; }
-  [[nodiscard]] const RouterState& router(NodeId id) const noexcept { return routers_[id]; }
+  [[nodiscard]] const RouterArena& arena() const noexcept { return arena_; }
   [[nodiscard]] const NodeState& node(NodeId id) const noexcept { return nodes_[id]; }
 
   /// Inject a specific message immediately (testing hook). Returns its id.
@@ -54,22 +69,40 @@ class Network {
   /// tracing every event is O(messages x hops) memory.
   void attachTrace(TraceRecorder* trace) noexcept { trace_ = trace; }
 
-  /// Validate microarchitectural invariants (occupancy bits vs buffers,
-  /// output-VC ownership consistency, wormhole per-VC message contiguity,
-  /// credit bounds). Returns an empty string when consistent, else a
-  /// description of the first violation. O(network size); test/debug use.
+  /// Validate microarchitectural invariants (occupancy bits/counts/active
+  /// set vs buffers, output-VC ownership consistency, wormhole per-VC
+  /// message contiguity, injection-side work-set coverage). Returns an empty
+  /// string when consistent, else a description of the first violation.
+  /// O(network size); test/debug use.
   [[nodiscard]] std::string validateInvariants() const;
 
  private:
+  friend struct NetworkTestAccess;  // white-box unit tests
+
   // One simulation cycle: injection, route computation + VC allocation,
   // switch allocation + link traversal, ejection.
   void advanceCycle();
+  // Reference implementation (engine_dense.cpp): the seed engine — sweep
+  // every node every cycle over per-router RouterState storage.
+  void advanceCycleDense();
+  // Event-sparse implementation: generation calendar + active-set walks.
+  void advanceCycleSparse();
 
   void stepGeneration(NodeId id);
-  void stepInjection(NodeId id);
+  // Returns true when the node has no injection-side work left, so the
+  // sparse engine can clear its work bit without re-probing the queues.
+  bool stepInjection(NodeId id);
   // Single pass per router: route computation + VC allocation for unrouted
   // headers, then switch arbitration and link traversal for routed units.
   void stepRouter(NodeId id);
+
+  // Seed-engine step functions over the legacy storage (engine_dense.cpp).
+  void stepInjectionDense(NodeId id);
+  void routeHeaderDense(NodeId id, int unitIdx);
+  void stepRouterDense(NodeId id);
+  void ejectFlitDense(NodeId id, int unitIdx);
+  [[nodiscard]] std::string validateLegacyRouters() const;
+  [[nodiscard]] std::string validateArenaRouters() const;
 
   [[nodiscard]] NodeId cachedNeighbor(NodeId id, int port) const noexcept {
     return nbr_[static_cast<std::size_t>(id) * static_cast<std::size_t>(networkPorts_) +
@@ -86,6 +119,15 @@ class Network {
   void scheduleReinjection(NodeId id, MsgId msgId);
   [[nodiscard]] double sourceQueueMean() const;
 
+  // Injection-side active set: bit per node with queued or streaming work.
+  void markNodeWork(NodeId id) noexcept {
+    nodeWork_[static_cast<std::size_t>(id) >> 6] |= (1ULL << (id & 63));
+  }
+  [[nodiscard]] bool nodeIdle(NodeId id) const noexcept {
+    const NodeState& n = nodes_[id];
+    return n.streaming == kInvalidMsg && n.sourceQueue.empty() && n.swQueue.empty();
+  }
+
   SimConfig cfg_;
   TorusTopology topo_;
   FaultSet faults_;
@@ -97,14 +139,33 @@ class Network {
   TrafficGenerator traffic_;
   MessagePool pool_;
 
-  std::vector<RouterState> routers_;
+  RouterArena arena_;
+  std::vector<RouterState> legacy_;  // populated only for EngineKind::Dense
   std::vector<NodeState> nodes_;
   Rng engineRng_;
+
+  // Event-sparse engine state. The calendar holds every healthy node's next
+  // generation cycle; nodeWork_ covers every node with injection-side work.
+  // Both are conservative supersets of "nodes that will do something" —
+  // visiting an idle node is a no-op in both engines, so the active sets can
+  // never change results, only skip provably-dead work.
+  GenCalendar calendar_;
+  std::vector<std::uint64_t> nodeWork_;
 
   // Hot-path topology caches (one entry per node x network port).
   int networkPorts_ = 0;
   std::vector<NodeId> nbr_;
   std::vector<std::uint8_t> wrapBit_;
+  // Arena base of the downstream input-port units reached through (id, port):
+  // neighbor * unitsPerRouter + (port ^ 1) * vcs. Adding outVc yields the
+  // downstream unit in one add — the credit check needs no multiplies.
+  std::vector<std::int32_t> downBase_;
+
+  [[nodiscard]] std::int32_t cachedDownBase(NodeId id, int port) const noexcept {
+    return downBase_[static_cast<std::size_t>(id) *
+                         static_cast<std::size_t>(networkPorts_) +
+                     static_cast<std::size_t>(port)];
+  }
 
   TraceRecorder* trace_ = nullptr;
 

@@ -1,0 +1,52 @@
+#include "src/sim/router_arena.hpp"
+
+#include <stdexcept>
+
+namespace swft {
+
+RouterArena::RouterArena(int nodes, int totalPorts, int networkPorts, int vcs,
+                         int bufferDepth)
+    : nodes_(nodes),
+      totalPorts_(totalPorts),
+      networkPorts_(networkPorts),
+      vcs_(vcs),
+      depth_(bufferDepth),
+      unitsPerRouter_(totalPorts * vcs) {
+  if (bufferDepth < 1 || bufferDepth > FlitFifo::kMaxDepth) {
+    throw std::invalid_argument("RouterArena: buffer depth out of range");
+  }
+  if (vcs < 1 || vcs > 16) {
+    throw std::invalid_argument("RouterArena: VC count out of range");
+  }
+  const auto stride =
+      std::bit_ceil(static_cast<unsigned>(bufferDepth));  // power-of-two ring
+  strideLog2_ = std::countr_zero(stride);
+  strideMask_ = static_cast<int>(stride) - 1;
+  occWords_ = (unitsPerRouter_ + 63) / 64;
+
+  const std::size_t units =
+      static_cast<std::size_t>(nodes) * static_cast<std::size_t>(unitsPerRouter_);
+  const std::size_t slots = units << strideLog2_;
+  flit_.resize(slots);
+  arrival_.resize(slots, 0);
+  frontArrival_.resize(units, 0);
+  head_.resize(units, 0);
+  size_.resize(units, 0);
+  route_.resize(units, 0);
+  routedMask_.resize(static_cast<std::size_t>(nodes) *
+                         static_cast<std::size_t>(occWords_),
+                     0);
+  request_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(totalPorts) *
+                      static_cast<std::size_t>(occWords_),
+                  0);
+  outOwner_.resize(static_cast<std::size_t>(nodes) *
+                       static_cast<std::size_t>(networkPorts * vcs),
+                   -1);
+  cursor_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(totalPorts),
+                 0);
+  occ_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(occWords_), 0);
+  occCount_.resize(static_cast<std::size_t>(nodes), 0);
+  active_.resize((static_cast<std::size_t>(nodes) + 63) / 64, 0);
+}
+
+}  // namespace swft

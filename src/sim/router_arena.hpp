@@ -1,0 +1,248 @@
+// Contiguous router storage: every input unit of every router in one
+// network-owned arena, struct-of-arrays.
+//
+// The seed engine kept a `std::vector<RouterState>` where each router owned
+// its own `std::vector<InputUnit>` — two pointer indirections and a ~272-byte
+// stride on every buffer access, including the credit check that `stepRouter`
+// performs on *downstream* routers for every link traversal. The arena
+// flattens all of it: flit rings, arrival stamps, ring heads/sizes, per-unit
+// routing state, output-VC ownership, round-robin cursors and occupancy
+// bitsets live in parallel arrays indexed by a global unit id
+//
+//   globalUnit = node * unitsPerRouter + port * vcs + vc
+//
+// so the credit-check fields (`full()` == one byte compare against the shared
+// depth, `frontArrival()`) are dense and prefetch-friendly. The arena also
+// maintains the network-level active set (one bit per router with any
+// occupied input unit) that the event-sparse engine walks with countr_zero;
+// push/pop keep the per-router occupancy words, the occupied-unit count and
+// the active bit consistent so the engine cannot desynchronise them.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/router/flit.hpp"
+#include "src/topology/coordinates.hpp"
+
+namespace swft {
+
+class RouterArena {
+ public:
+  RouterArena(int nodes, int totalPorts, int networkPorts, int vcs, int bufferDepth);
+
+  // --- geometry -------------------------------------------------------------
+  [[nodiscard]] int nodes() const noexcept { return nodes_; }
+  [[nodiscard]] int totalPorts() const noexcept { return totalPorts_; }
+  [[nodiscard]] int networkPorts() const noexcept { return networkPorts_; }
+  [[nodiscard]] int vcs() const noexcept { return vcs_; }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] int unitsPerRouter() const noexcept { return unitsPerRouter_; }
+  [[nodiscard]] int base(NodeId id) const noexcept {
+    return static_cast<int>(id) * unitsPerRouter_;
+  }
+  [[nodiscard]] int unitIndex(NodeId id, int port, int vc) const noexcept {
+    return base(id) + port * vcs_ + vc;
+  }
+
+  // --- flit buffers (by global unit index) ----------------------------------
+  [[nodiscard]] bool empty(int u) const noexcept { return size_[u] == 0; }
+  [[nodiscard]] bool full(int u) const noexcept { return size_[u] == depth_; }
+  [[nodiscard]] int size(int u) const noexcept { return size_[u]; }
+  [[nodiscard]] const Flit& front(int u) const noexcept {
+    return flit_[slot(u, head_[u])];
+  }
+  /// Arrival stamp of the front flit, mirrored in its own dense array: the
+  /// per-cycle eligibility checks (`departed-this-cycle`, Td) hit it far
+  /// more often than push/pop update it.
+  [[nodiscard]] std::uint64_t frontArrival(int u) const noexcept {
+    return frontArrival_[u];
+  }
+  /// i-th buffered flit from the front (introspection/validation).
+  [[nodiscard]] const Flit& flitAt(int u, int i) const noexcept {
+    return flit_[slot(u, (head_[u] + i) & strideMask_)];
+  }
+
+  /// Push/pop take the owning router id so the occupancy transition needs
+  /// no division; callers always know it (asserted in debug builds).
+  void push(NodeId node, int u, Flit f, std::uint64_t arrivalCycle) noexcept {
+    assert(u >= base(node) && u < base(node) + unitsPerRouter_);
+    const int s = slot(u, (head_[u] + size_[u]) & strideMask_);
+    flit_[s] = f;
+    arrival_[s] = arrivalCycle;
+    if (size_[u]++ == 0) {
+      frontArrival_[u] = arrivalCycle;
+      markOccupied(node, u);
+    }
+  }
+
+  Flit pop(NodeId node, int u) noexcept {
+    assert(u >= base(node) && u < base(node) + unitsPerRouter_);
+    const Flit f = flit_[slot(u, head_[u])];
+    head_[u] = static_cast<std::uint16_t>((head_[u] + 1) & strideMask_);
+    if (--size_[u] == 0) {
+      markEmpty(node, u);
+    } else {
+      frontArrival_[u] = arrival_[slot(u, head_[u])];
+    }
+    return f;
+  }
+
+  // --- per-unit routing state -----------------------------------------------
+  // Packed into one word per unit (bit 0: routed, bits 8..15: outPort,
+  // bits 16..23: outVc) so the switch-allocation path pays one load, not
+  // three. An allocation also enters the unit into the per-output-port
+  // request mask that switch allocation walks; `allocateRoute` and
+  // `releaseRoute` are the only mutators, keeping word and masks in sync.
+  [[nodiscard]] std::uint32_t routeWord(int u) const noexcept { return route_[u]; }
+  [[nodiscard]] static bool wordRouted(std::uint32_t w) noexcept { return (w & 1u) != 0; }
+  [[nodiscard]] static int wordOutPort(std::uint32_t w) noexcept {
+    return static_cast<int>((w >> 8) & 0xFFu);
+  }
+  [[nodiscard]] static int wordOutVc(std::uint32_t w) noexcept {
+    return static_cast<int>((w >> 16) & 0xFFu);
+  }
+  [[nodiscard]] bool routed(int u) const noexcept { return wordRouted(route_[u]); }
+  [[nodiscard]] std::uint8_t outPort(int u) const noexcept {
+    return static_cast<std::uint8_t>(wordOutPort(route_[u]));
+  }
+  [[nodiscard]] std::uint8_t outVc(int u) const noexcept {
+    return static_cast<std::uint8_t>(wordOutVc(route_[u]));
+  }
+
+  /// The head message of unit `localUnit` at router `node` holds output
+  /// (port, vc) from now until `releaseRoute` (tail departure).
+  void allocateRoute(NodeId node, int localUnit, int port, int vc) noexcept {
+    route_[base(node) + localUnit] = 1u | (static_cast<std::uint32_t>(port) << 8) |
+                                     (static_cast<std::uint32_t>(vc) << 16);
+    const std::uint64_t bit = 1ULL << (localUnit & 63);
+    routedMask_[maskIndex(node, localUnit)] |= bit;
+    request_[requestIndex(node, port, localUnit)] |= bit;
+  }
+  void releaseRoute(NodeId node, int localUnit) noexcept {
+    const int g = base(node) + localUnit;
+    const int port = wordOutPort(route_[g]);
+    route_[g] &= ~1u;
+    const std::uint64_t bit = 1ULL << (localUnit & 63);
+    routedMask_[maskIndex(node, localUnit)] &= ~bit;
+    request_[requestIndex(node, port, localUnit)] &= ~bit;
+  }
+
+  /// Bit per unit: currently routed (holds an output allocation).
+  [[nodiscard]] const std::uint64_t* routedWords(NodeId id) const noexcept {
+    return routedMask_.data() +
+           static_cast<std::size_t>(id) * static_cast<std::size_t>(occWords_);
+  }
+  /// Bit per unit: routed with outPort == `port` (switch requesters).
+  [[nodiscard]] const std::uint64_t* requestWords(NodeId id, int port) const noexcept {
+    return request_.data() +
+           (static_cast<std::size_t>(id) * static_cast<std::size_t>(totalPorts_) +
+            static_cast<std::size_t>(port)) *
+               static_cast<std::size_t>(occWords_);
+  }
+
+  // --- output-VC ownership (network ports only) -----------------------------
+  /// Owner (input-unit index local to router `id`) of an output VC, -1 free.
+  [[nodiscard]] std::int16_t outOwner(NodeId id, int port, int vc) const noexcept {
+    return outOwner_[ownerIndex(id, port, vc)];
+  }
+  void setOutOwner(NodeId id, int port, int vc, std::int16_t owner) noexcept {
+    outOwner_[ownerIndex(id, port, vc)] = owner;
+  }
+
+  // --- round-robin switch-arbitration cursors -------------------------------
+  [[nodiscard]] std::uint16_t cursor(NodeId id, int port) const noexcept {
+    return cursor_[static_cast<std::size_t>(id) * static_cast<std::size_t>(totalPorts_) +
+                   static_cast<std::size_t>(port)];
+  }
+  void setCursor(NodeId id, int port, std::uint16_t c) noexcept {
+    cursor_[static_cast<std::size_t>(id) * static_cast<std::size_t>(totalPorts_) +
+            static_cast<std::size_t>(port)] = c;
+  }
+
+  // --- occupancy ------------------------------------------------------------
+  [[nodiscard]] int occWordsPerRouter() const noexcept { return occWords_; }
+  [[nodiscard]] const std::uint64_t* occWords(NodeId id) const noexcept {
+    return occ_.data() + static_cast<std::size_t>(id) * static_cast<std::size_t>(occWords_);
+  }
+  [[nodiscard]] int occupiedUnits(NodeId id) const noexcept { return occCount_[id]; }
+  [[nodiscard]] bool anyOccupied(NodeId id) const noexcept { return occCount_[id] != 0; }
+
+  /// Network-level active set: bit `id` set iff router `id` has any occupied
+  /// input unit. Updated by push/pop; the sparse engine walks it live.
+  [[nodiscard]] const std::vector<std::uint64_t>& activeWords() const noexcept {
+    return active_;
+  }
+
+ private:
+  [[nodiscard]] int slot(int u, int ringPos) const noexcept {
+    return (u << strideLog2_) + ringPos;
+  }
+  [[nodiscard]] std::size_t ownerIndex(NodeId id, int port, int vc) const noexcept {
+    return static_cast<std::size_t>(id) *
+               static_cast<std::size_t>(networkPorts_ * vcs_) +
+           static_cast<std::size_t>(port * vcs_ + vc);
+  }
+  [[nodiscard]] std::size_t maskIndex(NodeId node, int localUnit) const noexcept {
+    return static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
+           static_cast<std::size_t>(localUnit >> 6);
+  }
+  [[nodiscard]] std::size_t requestIndex(NodeId node, int port,
+                                         int localUnit) const noexcept {
+    return (static_cast<std::size_t>(node) * static_cast<std::size_t>(totalPorts_) +
+            static_cast<std::size_t>(port)) *
+               static_cast<std::size_t>(occWords_) +
+           static_cast<std::size_t>(localUnit >> 6);
+  }
+
+  void markOccupied(NodeId node, int u) noexcept {
+    const int local = u - base(node);
+    occ_[static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
+         static_cast<std::size_t>(local >> 6)] |= (1ULL << (local & 63));
+    if (occCount_[node]++ == 0) {
+      active_[static_cast<std::size_t>(node) >> 6] |= (1ULL << (node & 63));
+    }
+  }
+  void markEmpty(NodeId node, int u) noexcept {
+    const int local = u - base(node);
+    occ_[static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
+         static_cast<std::size_t>(local >> 6)] &= ~(1ULL << (local & 63));
+    if (--occCount_[node] == 0) {
+      active_[static_cast<std::size_t>(node) >> 6] &= ~(1ULL << (node & 63));
+    }
+  }
+
+  int nodes_;
+  int totalPorts_;
+  int networkPorts_;
+  int vcs_;
+  int depth_;
+  int unitsPerRouter_;
+  int strideLog2_;   // ring stride = bit_ceil(depth); slots per unit
+  int strideMask_;
+  int occWords_;     // occupancy words per router
+
+  // Flit rings, struct-of-arrays: slot = (unit << strideLog2) + ringPos.
+  std::vector<Flit> flit_;
+  std::vector<std::uint64_t> arrival_;
+  std::vector<std::uint64_t> frontArrival_;  // mirror of arrival_[front slot]
+  // uint16, not uint8: unsigned-char arrays alias everything in C++, which
+  // would force the optimiser to reload hot locals around every push/pop.
+  std::vector<std::uint16_t> head_;
+  std::vector<std::uint16_t> size_;  // the credit-check array: full() == one load
+
+  std::vector<std::uint32_t> route_;
+  std::vector<std::uint64_t> routedMask_;  // node x occWords
+  std::vector<std::uint64_t> request_;     // (node x totalPorts) x occWords
+
+  std::vector<std::int16_t> outOwner_;
+  std::vector<std::uint16_t> cursor_;
+
+  std::vector<std::uint64_t> occ_;
+  std::vector<std::uint16_t> occCount_;
+  std::vector<std::uint64_t> active_;
+};
+
+}  // namespace swft

@@ -1,0 +1,144 @@
+#include "src/sim/router_arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace swft {
+namespace {
+
+// 4 nodes of a 2-D torus router: 5 input ports (4 network + injection), V=4.
+RouterArena smallArena(int depth = 2) { return RouterArena(4, 5, 4, 4, depth); }
+
+TEST(RouterArena, LayoutAndIndexing) {
+  RouterArena a = smallArena();
+  EXPECT_EQ(a.vcs(), 4);
+  EXPECT_EQ(a.depth(), 2);
+  EXPECT_EQ(a.unitsPerRouter(), 20);
+  EXPECT_EQ(a.base(0), 0);
+  EXPECT_EQ(a.base(3), 60);
+  EXPECT_EQ(a.unitIndex(0, 0, 0), 0);
+  EXPECT_EQ(a.unitIndex(1, 3, 2), 34);  // base 20 + port 3 * 4 + vc 2
+}
+
+TEST(RouterArena, FifoOrderAndArrivalStamps) {
+  RouterArena a = smallArena(3);
+  const int u = a.unitIndex(2, 1, 0);
+  EXPECT_TRUE(a.empty(u));
+  a.push(2, u, Flit{10, FlitKind::Header}, 100);
+  a.push(2, u, Flit{10, FlitKind::Body}, 101);
+  a.push(2, u, Flit{10, FlitKind::Tail}, 102);
+  EXPECT_TRUE(a.full(u)) << "depth 3 reached";
+  EXPECT_EQ(a.size(u), 3);
+  EXPECT_EQ(a.frontArrival(u), 100u);
+  EXPECT_EQ(a.flitAt(u, 2).kind, FlitKind::Tail);
+  EXPECT_EQ(a.pop(2, u).kind, FlitKind::Header);
+  EXPECT_EQ(a.frontArrival(u), 101u);
+  // Ring wrap: the freed slot is reusable immediately.
+  a.push(2, u, Flit{11, FlitKind::Header}, 103);
+  EXPECT_TRUE(a.full(u));
+  EXPECT_EQ(a.pop(2, u).kind, FlitKind::Body);
+  EXPECT_EQ(a.pop(2, u).kind, FlitKind::Tail);
+  EXPECT_EQ(a.pop(2, u).msg, 11u);
+  EXPECT_TRUE(a.empty(u));
+}
+
+TEST(RouterArena, BuffersAreIndependent) {
+  RouterArena a = smallArena(3);
+  a.push(0, a.unitIndex(0, 0, 0), Flit{1, FlitKind::Header}, 0);
+  a.push(0, a.unitIndex(0, 0, 1), Flit{2, FlitKind::Header}, 0);
+  EXPECT_EQ(a.front(a.unitIndex(0, 0, 0)).msg, 1u);
+  EXPECT_EQ(a.front(a.unitIndex(0, 0, 1)).msg, 2u);
+  EXPECT_EQ(a.size(a.unitIndex(0, 1, 0)), 0);
+  EXPECT_EQ(a.size(a.unitIndex(1, 0, 0)), 0) << "next router's units unaffected";
+}
+
+TEST(RouterArena, OccupancyWordsCountsAndActiveSet) {
+  // 3-D router geometry, V=10: 70 units/router crosses occupancy word 0/1.
+  RouterArena a(70, 7, 6, 10, 4);
+  EXPECT_EQ(a.occWordsPerRouter(), 2);
+  EXPECT_FALSE(a.anyOccupied(65));
+  EXPECT_EQ(a.activeWords()[1], 0u);
+
+  a.push(65, a.base(65) + 3, Flit{1, FlitKind::Header}, 0);
+  a.push(65, a.base(65) + 69, Flit{2, FlitKind::Header}, 0);
+  a.push(65, a.base(65) + 69, Flit{2, FlitKind::Body}, 1);
+  EXPECT_TRUE(a.anyOccupied(65));
+  EXPECT_EQ(a.occupiedUnits(65), 2);
+  EXPECT_TRUE(a.occWords(65)[0] & (1ULL << 3));
+  EXPECT_TRUE(a.occWords(65)[1] & (1ULL << 5));  // 69 = 64 + 5
+  EXPECT_TRUE(a.activeWords()[1] & (1ULL << 1));  // node 65 = word 1, bit 1
+
+  a.pop(65, a.base(65) + 3);
+  EXPECT_FALSE(a.occWords(65)[0] & (1ULL << 3));
+  EXPECT_EQ(a.occupiedUnits(65), 1);
+  EXPECT_TRUE(a.anyOccupied(65)) << "unit 69 still holds two flits";
+  a.pop(65, a.base(65) + 69);
+  EXPECT_TRUE(a.anyOccupied(65)) << "pop of one flit of two keeps the bit";
+  a.pop(65, a.base(65) + 69);
+  EXPECT_FALSE(a.anyOccupied(65));
+  EXPECT_EQ(a.activeWords()[1], 0u) << "active bit cleared with the last flit";
+}
+
+TEST(RouterArena, RouteAllocationLifecycle) {
+  RouterArena a = smallArena();
+  const int local = 2 * 4 + 3;  // port 2, vc 3
+  const int g = a.unitIndex(1, 2, 3);
+  EXPECT_FALSE(a.routed(g));
+  a.allocateRoute(1, local, 3, 1);
+  EXPECT_TRUE(a.routed(g));
+  EXPECT_EQ(a.outPort(g), 3);
+  EXPECT_EQ(a.outVc(g), 1);
+  EXPECT_FALSE(a.routed(g + 1)) << "neighbouring unit unaffected";
+  // The allocation registers the unit as a switch requester of port 3 only.
+  EXPECT_TRUE(a.routedWords(1)[0] & (1ULL << local));
+  EXPECT_TRUE(a.requestWords(1, 3)[0] & (1ULL << local));
+  EXPECT_FALSE(a.requestWords(1, 2)[0] & (1ULL << local));
+  EXPECT_FALSE(a.requestWords(2, 3)[0] & (1ULL << local)) << "other router";
+  a.releaseRoute(1, local);
+  EXPECT_FALSE(a.routed(g));
+  EXPECT_EQ(a.routedWords(1)[0], 0u);
+  EXPECT_EQ(a.requestWords(1, 3)[0], 0u);
+}
+
+TEST(RouterArena, OutputOwnershipLifecycle) {
+  RouterArena a = smallArena();
+  EXPECT_EQ(a.outOwner(1, 2, 1), -1);
+  a.setOutOwner(1, 2, 1, 7);
+  EXPECT_EQ(a.outOwner(1, 2, 1), 7);
+  EXPECT_EQ(a.outOwner(1, 2, 0), -1) << "other VCs unaffected";
+  EXPECT_EQ(a.outOwner(2, 2, 1), -1) << "other routers unaffected";
+  a.setOutOwner(1, 2, 1, -1);
+  EXPECT_EQ(a.outOwner(1, 2, 1), -1);
+}
+
+TEST(RouterArena, CursorsPerNodeAndPort) {
+  RouterArena a = smallArena();
+  EXPECT_EQ(a.cursor(0, 0), 0);
+  a.setCursor(0, 0, 13);
+  a.setCursor(0, 4, 7);
+  a.setCursor(3, 0, 2);
+  EXPECT_EQ(a.cursor(0, 0), 13);
+  EXPECT_EQ(a.cursor(0, 4), 7);
+  EXPECT_EQ(a.cursor(0, 1), 0);
+  EXPECT_EQ(a.cursor(3, 0), 2);
+}
+
+TEST(RouterArena, RejectsBadGeometry) {
+  EXPECT_THROW(RouterArena(4, 5, 4, 4, 0), std::invalid_argument);
+  EXPECT_THROW(RouterArena(4, 5, 4, 4, FlitFifo::kMaxDepth + 1), std::invalid_argument);
+  EXPECT_THROW(RouterArena(4, 5, 4, 0, 4), std::invalid_argument);
+  EXPECT_THROW(RouterArena(4, 5, 4, 17, 4), std::invalid_argument);
+  EXPECT_NO_THROW(RouterArena(4, 17, 16, 16, 4));  // 8-D router at V=16
+}
+
+TEST(RouterArena, NonPowerOfTwoDepthRoundsStrideUp) {
+  RouterArena a(2, 5, 4, 4, 5);  // stride 8, capacity stays 5
+  const int u = a.unitIndex(1, 0, 0);
+  for (int i = 0; i < 5; ++i) a.push(1, u, Flit{1, FlitKind::Body}, 0);
+  EXPECT_TRUE(a.full(u));
+  EXPECT_EQ(a.size(u), 5);
+  for (int i = 0; i < 5; ++i) a.pop(1, u);
+  EXPECT_TRUE(a.empty(u));
+}
+
+}  // namespace
+}  // namespace swft
