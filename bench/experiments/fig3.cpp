@@ -3,11 +3,9 @@
 // V in {4, 6, 10}, nf in {0, 3, 5} random node faults.
 #include <cstdio>
 
-#include "bench/bench_common.hpp"
-#include "src/harness/sweep.hpp"
+#include "bench/experiments/experiment_common.hpp"
 
-using namespace swft;
-
+namespace swft {
 namespace {
 
 std::vector<SweepPoint> buildFig3() {
@@ -48,11 +46,13 @@ std::vector<SweepPoint> buildFig3() {
   return points;
 }
 
-}  // namespace
+const ExperimentRegistrar reg{{
+    .name = "fig3",
+    .description = "mean message latency vs traffic rate, 8-ary 2-cube (paper Fig. 3)",
+    .build = buildFig3,
+    .columns = {"latency", "throughput", "queued"},
+    .epilogue = {},
+}};
 
-int main(int argc, char** argv) {
-  auto store = bench::registerSweep("fig3", buildFig3());
-  return bench::benchMain(argc, argv, "fig3", store, {"latency", "throughput", "queued"},
-                          "mean message latency vs traffic rate, 8-ary 2-cube "
-                          "(paper Fig. 3)");
-}
+}  // namespace
+}  // namespace swft

@@ -3,11 +3,9 @@
 // V in {4, 6, 10}, nf in {0, 12} random node faults.
 #include <cstdio>
 
-#include "bench/bench_common.hpp"
-#include "src/harness/sweep.hpp"
+#include "bench/experiments/experiment_common.hpp"
 
-using namespace swft;
-
+namespace swft {
 namespace {
 
 std::vector<SweepPoint> buildFig4() {
@@ -47,11 +45,13 @@ std::vector<SweepPoint> buildFig4() {
   return points;
 }
 
-}  // namespace
+const ExperimentRegistrar reg{{
+    .name = "fig4",
+    .description = "mean message latency vs traffic rate, 8-ary 3-cube (paper Fig. 4)",
+    .build = buildFig4,
+    .columns = {"latency", "throughput", "queued"},
+    .epilogue = {},
+}};
 
-int main(int argc, char** argv) {
-  auto store = bench::registerSweep("fig4", buildFig4());
-  return bench::benchMain(argc, argv, "fig4", store, {"latency", "throughput", "queued"},
-                          "mean message latency vs traffic rate, 8-ary 3-cube "
-                          "(paper Fig. 4)");
-}
+}  // namespace
+}  // namespace swft

@@ -4,11 +4,9 @@
 // and adaptive routing.
 #include <cstdio>
 
-#include "bench/bench_common.hpp"
-#include "src/harness/sweep.hpp"
+#include "bench/experiments/experiment_common.hpp"
 
-using namespace swft;
-
+namespace swft {
 namespace {
 
 std::vector<SweepPoint> buildFig5() {
@@ -49,12 +47,14 @@ std::vector<SweepPoint> buildFig5() {
   return points;
 }
 
-}  // namespace
+const ExperimentRegistrar reg{{
+    .name = "fig5",
+    .description = "mean message latency vs traffic rate under convex/concave fault "
+                   "regions (paper Fig. 5)",
+    .build = buildFig5,
+    .columns = {"latency", "throughput", "queued", "detours"},
+    .epilogue = {},
+}};
 
-int main(int argc, char** argv) {
-  auto store = bench::registerSweep("fig5", buildFig5());
-  return bench::benchMain(argc, argv, "fig5", store,
-                          {"latency", "throughput", "queued", "detours"},
-                          "mean message latency vs traffic rate under convex/concave "
-                          "fault regions (paper Fig. 5)");
-}
+}  // namespace
+}  // namespace swft

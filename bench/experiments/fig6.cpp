@@ -7,11 +7,9 @@
 // throughput as the delivered fraction of the traffic pattern.
 #include <cstdio>
 
-#include "bench/bench_common.hpp"
-#include "src/harness/sweep.hpp"
+#include "bench/experiments/experiment_common.hpp"
 
-using namespace swft;
-
+namespace swft {
 namespace {
 
 std::vector<SweepPoint> buildFig6() {
@@ -40,12 +38,14 @@ std::vector<SweepPoint> buildFig6() {
   return points;
 }
 
-}  // namespace
+const ExperimentRegistrar reg{{
+    .name = "fig6",
+    .description = "throughput vs number of random faulty nodes, 16-ary 2-cube "
+                   "(paper Fig. 6)",
+    .build = buildFig6,
+    .columns = {"throughput", "queued", "latency"},
+    .epilogue = {},
+}};
 
-int main(int argc, char** argv) {
-  auto store = bench::registerSweep("fig6", buildFig6());
-  return bench::benchMain(argc, argv, "fig6", store,
-                          {"throughput", "queued", "latency"},
-                          "throughput vs number of random faulty nodes, 16-ary 2-cube "
-                          "(paper Fig. 6)");
-}
+}  // namespace
+}  // namespace swft

@@ -8,11 +8,9 @@
 // faults; a message contributes once per absorption, as in the paper.
 #include <cstdio>
 
-#include "bench/bench_common.hpp"
-#include "src/harness/sweep.hpp"
+#include "bench/experiments/experiment_common.hpp"
 
-using namespace swft;
-
+namespace swft {
 namespace {
 
 std::vector<SweepPoint> buildFig7() {
@@ -44,12 +42,14 @@ std::vector<SweepPoint> buildFig7() {
   return points;
 }
 
-}  // namespace
+const ExperimentRegistrar reg{{
+    .name = "fig7",
+    .description = "messages queued vs number of random faulty nodes, 8-ary 3-cube "
+                   "(paper Fig. 7)",
+    .build = buildFig7,
+    .columns = {"queued", "absorbed", "reversals", "detours", "throughput"},
+    .epilogue = {},
+}};
 
-int main(int argc, char** argv) {
-  auto store = bench::registerSweep("fig7", buildFig7());
-  return bench::benchMain(argc, argv, "fig7", store,
-                          {"queued", "absorbed", "reversals", "detours", "throughput"},
-                          "messages queued vs number of random faulty nodes, 8-ary 3-cube "
-                          "(paper Fig. 7)");
-}
+}  // namespace
+}  // namespace swft

@@ -1,0 +1,156 @@
+// swft_bench — one front-end for every registered experiment (the paper's
+// figure sweeps, the ablations, and the beyond-paper workloads).
+//
+//   swft_bench --list
+//   swft_bench --run fig6
+//   swft_bench --run all --threads 8 --format json --out results/
+//   swft_bench --run fig3 --shard 2/4       # quarter of the grid, merge-safe
+//
+// Sharding partitions a grid by a stable label hash, so N machines each
+// running `--shard i/N` produce disjoint artifacts whose union is exactly
+// the unsharded run (concatenate, or stable-sort by label to compare).
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment_registry.hpp"
+#include "src/harness/table.hpp"
+#include "src/traffic/patterns.hpp"
+
+namespace {
+
+void printUsage() {
+  std::cout
+      << "usage: swft_bench --list\n"
+         "       swft_bench --run <name|all> [--run <name>...] [options]\n"
+         "options:\n"
+         "  --shard i/N        run only the points whose stable label hash lands in\n"
+         "                     residue class i (0-based); outputs are merge-safe\n"
+         "  --threads T        sweep thread-pool size (default: hardware concurrency)\n"
+         "  --format csv|json  artifact format (default csv)\n"
+         "  --out DIR          artifact directory (default: $SWFT_RESULTS_DIR or results/)\n"
+         "  --quiet            suppress per-point progress lines\n"
+         "environment:\n"
+         "  SWFT_SCALE=paper   full paper-scale runs (default: reduced, ~1/10 cost)\n";
+}
+
+void printList() {
+  const auto specs = swft::ExperimentRegistry::instance().all();
+  std::cout << specs.size() << " registered experiments:\n";
+  std::size_t width = 4;
+  for (const auto* spec : specs) width = std::max(width, spec->name.size());
+  for (const auto* spec : specs) {
+    std::cout << "  " << spec->name << std::string(width - spec->name.size() + 2, ' ')
+              << "(" << spec->build().size() << " points)  " << spec->description << "\n";
+  }
+  std::cout << "traffic patterns:";
+  for (const swft::TrafficPattern p : swft::kAllTrafficPatterns) {
+    std::cout << " " << swft::trafficPatternName(p);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  std::vector<std::string> names;
+  swft::RunOptions opt;
+
+  auto needValue = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "error: " << argv[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    try {
+      if (std::strcmp(arg, "--list") == 0) {
+        list = true;
+      } else if (std::strcmp(arg, "--run") == 0) {
+        names.emplace_back(needValue(i));
+      } else if (std::strcmp(arg, "--shard") == 0) {
+        opt.shard = swft::parseShard(needValue(i));
+      } else if (std::strcmp(arg, "--threads") == 0) {
+        opt.threads = std::stoi(needValue(i));
+      } else if (std::strcmp(arg, "--format") == 0) {
+        const std::string fmt = needValue(i);
+        if (fmt == "csv") {
+          opt.format = swft::OutputFormat::Csv;
+        } else if (fmt == "json") {
+          opt.format = swft::OutputFormat::Json;
+        } else {
+          std::cerr << "error: --format must be csv|json, got '" << fmt << "'\n";
+          return 2;
+        }
+      } else if (std::strcmp(arg, "--out") == 0) {
+        opt.outDir = needValue(i);
+      } else if (std::strcmp(arg, "--quiet") == 0) {
+        opt.progress = false;
+      } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        printUsage();
+        return 0;
+      } else {
+        std::cerr << "error: unknown argument '" << arg << "'\n\n";
+        printUsage();
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (list) {
+    printList();
+    return 0;
+  }
+  if (names.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  auto& registry = swft::ExperimentRegistry::instance();
+  std::vector<const swft::ExperimentSpec*> toRun;
+  auto addOnce = [&toRun](const swft::ExperimentSpec* spec) {
+    // Dedup repeated --run names (and `--run x --run all`): running a spec
+    // twice would redo the sweep and silently overwrite its artifact.
+    if (std::find(toRun.begin(), toRun.end(), spec) == toRun.end()) toRun.push_back(spec);
+  };
+  for (const std::string& name : names) {
+    if (name == "all") {
+      for (const auto* spec : registry.all()) addOnce(spec);
+      continue;
+    }
+    const swft::ExperimentSpec* spec = registry.find(name);
+    if (spec == nullptr) {
+      std::cerr << "error: unknown experiment '" << name << "' (see --list)\n";
+      return 2;
+    }
+    addOnce(spec);
+  }
+
+  int failures = 0;
+  for (const auto* spec : toRun) {
+    try {
+      const swft::ExperimentRun run = swft::runExperiment(*spec, opt, std::cout);
+      for (const swft::SweepRow& row : run.rows) {
+        if (row.result.deadlockSuspected) {
+          std::cerr << "warning: deadlock watchdog fired at " << spec->name << "/"
+                    << row.point.label << "\n";
+          ++failures;
+        }
+      }
+      std::cout << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: experiment '" << spec->name << "' failed: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,172 @@
+#include "src/harness/experiment.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/harness/table.hpp"
+#include "src/sim/config_parse.hpp"
+
+namespace swft {
+
+namespace {
+
+int parseShardInt(const std::string& text, std::string_view part) {
+  int out = 0;
+  const auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), out);
+  if (ec != std::errc{} || ptr != part.data() + part.size()) {
+    throw std::invalid_argument("shard: expected 'i/N' with integers, got '" + text + "'");
+  }
+  return out;
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardSpec parseShard(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("shard: expected 'i/N' (e.g. 0/4), got '" + text + "'");
+  }
+  ShardSpec shard;
+  shard.index = parseShardInt(text, std::string_view(text).substr(0, slash));
+  shard.count = parseShardInt(text, std::string_view(text).substr(slash + 1));
+  if (shard.count < 1 || shard.index < 0 || shard.index >= shard.count) {
+    throw std::invalid_argument("shard: need 0 <= i < N, got '" + text + "'");
+  }
+  return shard;
+}
+
+std::uint64_t stableLabelHash(std::string_view label) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+bool inShard(std::string_view label, const ShardSpec& shard) noexcept {
+  if (shard.isAll()) return true;
+  return stableLabelHash(label) % static_cast<std::uint64_t>(shard.count) ==
+         static_cast<std::uint64_t>(shard.index);
+}
+
+std::vector<SweepPoint> shardPoints(std::vector<SweepPoint> points, const ShardSpec& shard) {
+  if (shard.isAll()) return points;
+  std::vector<SweepPoint> mine;
+  mine.reserve(points.size() / static_cast<std::size_t>(shard.count) + 1);
+  for (auto& p : points) {
+    if (inShard(p.label, shard)) mine.push_back(std::move(p));
+  }
+  return mine;
+}
+
+std::string rowsToJson(const std::vector<SweepRow>& rows) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"swft-experiment-rows-v1\",\n  \"rows\": [";
+  bool first = true;
+  for (const auto& row : rows) {
+    const SimConfig& c = row.point.cfg;
+    const SimResult& r = row.result;
+    os << (first ? "" : ",") << "\n    {"
+       << "\"label\": \"" << jsonEscape(row.point.label) << "\", "
+       << "\"routing\": \"" << c.routingName() << "\", "
+       << "\"traffic\": \"" << trafficPatternName(c.pattern) << "\", "
+       << "\"radix\": " << c.radix << ", "
+       << "\"dims\": " << c.dims << ", "
+       << "\"vcs\": " << c.vcs << ", "
+       << "\"msg_length\": " << c.messageLength << ", "
+       << "\"offered_load\": " << c.injectionRate << ", "
+       << "\"faulty_nodes\": "
+       << c.faults.randomNodes + static_cast<int>(c.faults.explicitNodes.size()) << ", "
+       << "\"mean_latency\": " << r.meanLatency << ", "
+       << "\"latency_stddev\": " << r.latencyStddev << ", "
+       << "\"throughput\": " << r.throughput << ", "
+       << "\"messages_queued\": " << r.messagesQueued << ", "
+       << "\"absorbed_messages\": " << r.absorbedMessages << ", "
+       << "\"mean_hops\": " << r.meanHops << ", "
+       << "\"cycles\": " << r.cycles << ", "
+       << "\"delivered_measured\": " << r.deliveredMeasured << ", "
+       << "\"saturated\": " << (r.saturated ? "true" : "false") << ", "
+       << "\"deadlock\": " << (r.deadlockSuspected ? "true" : "false") << "}";
+    first = false;
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string artifactName(const ExperimentSpec& spec, const RunOptions& opt) {
+  std::string name = spec.name;
+  if (!opt.shard.isAll()) {
+    name += ".shard" + std::to_string(opt.shard.index) + "-of-" +
+            std::to_string(opt.shard.count);
+  }
+  name += opt.format == OutputFormat::Json ? ".json" : ".csv";
+  return name;
+}
+
+ExperimentRun runExperiment(const ExperimentSpec& spec, const RunOptions& opt,
+                            std::ostream& log) {
+  ExperimentRun run;
+  std::vector<SweepPoint> points = spec.build();
+  run.totalPoints = points.size();
+  points = shardPoints(std::move(points), opt.shard);
+
+  log << "=== " << spec.name << ": " << spec.description << " ===\n";
+  if (!opt.shard.isAll()) {
+    log << "shard " << opt.shard.index << "/" << opt.shard.count << ": " << points.size()
+        << " of " << run.totalPoints << " points\n";
+  }
+
+  const std::size_t shardSize = points.size();
+  std::size_t done = 0;
+  run.rows = runSweep(std::move(points), opt.threads, [&](const SweepRow& row) {
+    ++done;
+    if (opt.progress) {
+      log << "  [" << done << "/" << shardSize << "] " << spec.name << "/"
+          << row.point.label << "\n";
+    }
+  });
+
+  log << formatTable(run.rows, spec.columns);
+  if (spec.epilogue) log << spec.epilogue(run.rows);
+
+  if (opt.writeArtifact) {
+    std::string dir = resultsDir();  // creates the default directory
+    if (!opt.outDir.empty()) {
+      dir = opt.outDir;
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);  // open() reports failure
+    }
+    run.artifactPath = dir + "/" + artifactName(spec, opt);
+    if (opt.format == OutputFormat::Json) {
+      std::ofstream out(run.artifactPath, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot write " + run.artifactPath);
+      out << rowsToJson(run.rows);
+    } else {
+      toCsv(run.rows).writeFile(run.artifactPath);
+    }
+    log << "wrote " << run.artifactPath << " (" << run.rows.size() << " rows)\n";
+  }
+  return run;
+}
+
+}  // namespace swft

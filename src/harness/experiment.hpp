@@ -1,0 +1,90 @@
+// Declarative experiment subsystem: an experiment is a named grid of
+// SweepPoints plus presentation metadata. Specs are registered once (see
+// experiment_registry.hpp) and driven uniformly by the `swft_bench` tool:
+// one code path for the thread pool, deterministic cross-machine sharding,
+// table output and the CSV/JSON artifacts — instead of one hand-rolled
+// main() per paper figure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/harness/sweep.hpp"
+
+namespace swft {
+
+struct ExperimentSpec {
+  std::string name;         // registry key and artifact basename, e.g. "fig6"
+  std::string description;  // one-line caption shown by --list and above tables
+  // Build the full point grid. Called at run time (not registration time) so
+  // builders can consult SWFT_SCALE and other environment knobs.
+  std::function<std::vector<SweepPoint>()> build;
+  std::vector<std::string> columns;  // result columns for the text table
+  // Optional: extra stdout after the table (analytic-model comparison,
+  // heatmap renderings, ...). Receives the completed rows of this run.
+  std::function<std::string(const std::vector<SweepRow>&)> epilogue;
+};
+
+/// Deterministic shard selector: shard i of N runs the points whose stable
+/// label hash falls in residue class i. index is 0-based, 0 <= index < count.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  [[nodiscard]] bool isAll() const noexcept { return count <= 1; }
+};
+
+/// Parse "i/N" (e.g. "0/4"). Throws std::invalid_argument on malformed input
+/// or out-of-range indices.
+[[nodiscard]] ShardSpec parseShard(const std::string& text);
+
+/// FNV-1a 64-bit over the label bytes. Stable across platforms, compilers and
+/// standard libraries (unlike std::hash) — the sharding contract is that the
+/// same label lands in the same shard on every machine.
+[[nodiscard]] std::uint64_t stableLabelHash(std::string_view label) noexcept;
+
+[[nodiscard]] bool inShard(std::string_view label, const ShardSpec& shard) noexcept;
+
+/// Partition a point grid down to one shard, preserving order.
+[[nodiscard]] std::vector<SweepPoint> shardPoints(std::vector<SweepPoint> points,
+                                                  const ShardSpec& shard);
+
+enum class OutputFormat : std::uint8_t { Csv, Json };
+
+struct RunOptions {
+  ShardSpec shard;
+  int threads = 0;  // <= 0: hardware concurrency (runSweep convention)
+  OutputFormat format = OutputFormat::Csv;
+  std::string outDir;  // empty: resultsDir()
+  bool writeArtifact = true;
+  bool progress = true;  // per-point progress lines on `log`
+};
+
+struct ExperimentRun {
+  std::vector<SweepRow> rows;
+  std::size_t totalPoints = 0;  // grid size before sharding
+  std::string artifactPath;     // empty when writeArtifact was false
+};
+
+/// Rows serialised as a JSON array of objects: the CSV columns plus a
+/// `traffic` field (the CSV schema is shared with the pre-refactor figure
+/// drivers and `swft_sim --csv`, where the pattern lives in the label;
+/// schema `swft-experiment-rows-v1`).
+[[nodiscard]] std::string rowsToJson(const std::vector<SweepRow>& rows);
+
+/// Artifact filename for a run: `<name>.csv` unsharded, or
+/// `<name>.shard<i>-of-<N>.csv` so shard outputs never collide and can be
+/// merged by concatenation (drop the header of all but the first).
+[[nodiscard]] std::string artifactName(const ExperimentSpec& spec, const RunOptions& opt);
+
+/// Build the grid, apply the shard, run through the runSweep thread pool,
+/// print the paper-style table to `log`, and (by default) write the CSV/JSON
+/// artifact. Rows keep grid order, so a fixed seed reproduces byte-identical
+/// artifacts.
+ExperimentRun runExperiment(const ExperimentSpec& spec, const RunOptions& opt,
+                            std::ostream& log);
+
+}  // namespace swft

@@ -1,0 +1,40 @@
+#include "src/harness/experiment_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace swft {
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  // Function-local static: safe to call from other TUs' static initialisers.
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(ExperimentSpec spec) {
+  if (spec.name.empty() || !spec.build) {
+    throw std::invalid_argument("experiment registration needs a name and a builder");
+  }
+  if (find(spec.name) != nullptr) {
+    throw std::invalid_argument("duplicate experiment name '" + spec.name + "'");
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const ExperimentSpec* ExperimentRegistry::find(std::string_view name) const noexcept {
+  for (const ExperimentSpec& s : specs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const ExperimentSpec*> ExperimentRegistry::all() const {
+  std::vector<const ExperimentSpec*> out;
+  out.reserve(specs_.size());
+  for (const ExperimentSpec& s : specs_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const ExperimentSpec* a, const ExperimentSpec* b) { return a->name < b->name; });
+  return out;
+}
+
+}  // namespace swft

@@ -1,0 +1,40 @@
+// Process-wide registry of ExperimentSpecs with static registration: each
+// experiment TU defines `static const ExperimentRegistrar reg{...}` and the
+// spec becomes visible to `swft_bench --list/--run` (and any test linking
+// the experiment objects) with no central enumeration to keep in sync.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "src/harness/experiment.hpp"
+
+namespace swft {
+
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  /// Register a spec. Throws std::invalid_argument on a duplicate name or a
+  /// spec without a builder — both are programming errors caught at startup.
+  void add(ExperimentSpec spec);
+
+  [[nodiscard]] const ExperimentSpec* find(std::string_view name) const noexcept;
+
+  /// All specs, sorted by name (registration order is link order — not
+  /// something output should depend on).
+  [[nodiscard]] std::vector<const ExperimentSpec*> all() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return specs_.size(); }
+
+ private:
+  std::vector<ExperimentSpec> specs_;
+};
+
+struct ExperimentRegistrar {
+  explicit ExperimentRegistrar(ExperimentSpec spec) {
+    ExperimentRegistry::instance().add(std::move(spec));
+  }
+};
+
+}  // namespace swft

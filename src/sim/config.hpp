@@ -47,6 +47,7 @@ struct SimConfig {
   int messageLength = 32;   // M flits, header included (assumption (c))
   double injectionRate = 0.005;  // lambda, messages/node/cycle (assumption (a))
   TrafficPattern pattern = TrafficPattern::Uniform;
+  double hotspotFraction = 0.1;  // share of traffic aimed at the hotspot node
   // --- software-based routing ------------------------------------------
   RoutingMode routing = RoutingMode::Deterministic;
   int reinjectDelay = 0;    // Delta cycles of software overhead (assumption (i))

@@ -119,17 +119,14 @@ void applyConfigAssignment(SimConfig& cfg, const std::string& assignment) {
     } else {
       fail("config: routing must be det|adaptive, got '" + value + "'");
     }
-  } else if (key == "pattern") {
-    if (value == "uniform") {
-      cfg.pattern = TrafficPattern::Uniform;
-    } else if (value == "transpose") {
-      cfg.pattern = TrafficPattern::Transpose;
-    } else if (value == "bitcomp") {
-      cfg.pattern = TrafficPattern::BitComplement;
-    } else if (value == "hotspot") {
-      cfg.pattern = TrafficPattern::Hotspot;
-    } else {
-      fail("config: unknown traffic pattern '" + value + "'");
+  } else if (key == "traffic" || key == "pattern") {  // `pattern` is the legacy key
+    const std::optional<TrafficPattern> p = parseTrafficPattern(value);
+    if (!p) fail("config: unknown traffic pattern '" + value + "'");
+    cfg.pattern = *p;
+  } else if (key == "hotspot_fraction") {
+    cfg.hotspotFraction = parseDouble(key, value);
+    if (cfg.hotspotFraction < 0.0 || cfg.hotspotFraction > 1.0) {
+      fail("config: hotspot_fraction must be in [0, 1], got '" + value + "'");
     }
   } else if (key == "engine") {
     if (value == "sparse") {
@@ -156,8 +153,11 @@ std::string describeConfig(const SimConfig& cfg) {
   std::ostringstream os;
   os << cfg.radix << "-ary " << cfg.dims << "-cube, " << cfg.routingName()
      << " routing, V=" << cfg.vcs << ", M=" << cfg.messageLength
-     << ", lambda=" << cfg.injectionRate << ", pattern=" << trafficPatternName(cfg.pattern)
-     << ", nf=" << cfg.faults.randomNodes;
+     << ", lambda=" << cfg.injectionRate << ", traffic=" << trafficPatternName(cfg.pattern);
+  if (cfg.pattern == TrafficPattern::Hotspot) {
+    os << " (fraction " << cfg.hotspotFraction << ")";
+  }
+  os << ", nf=" << cfg.faults.randomNodes;
   if (!cfg.faults.regions.empty()) {
     os << ", regions=" << cfg.faults.regions.size();
   }

@@ -2,9 +2,10 @@
 //
 // Accepted keys (all optional, defaults from SimConfig):
 //   k, n, vcs, escape_vcs, buffer_depth, msg_length, rate, routing
-//   (det|adaptive), pattern (uniform|transpose|bitcomp|hotspot), delta, td,
-//   nf (random node faults), region (shape:e0xe1[@x,y] — repeatable),
-//   warmup, measured, max_cycles, seed, livelock_threshold
+//   (det|adaptive), traffic (uniform|transpose|bitcomp|bitrev|shuffle|
+//   tornado|hotspot; `pattern` is a legacy alias), hotspot_fraction,
+//   delta, td, nf (random node faults), region (shape:e0xe1[@x,y] —
+//   repeatable), warmup, measured, max_cycles, seed, livelock_threshold
 #pragma once
 
 #include <span>

@@ -34,7 +34,7 @@ Network::Network(const SimConfig& cfg)
       duato_(topo_),
       software0_(std::make_unique<SoftwareLayer>(topo_, faults_, cfg.livelockThreshold)),
       software_(*software0_),
-      traffic_(cfg.pattern, faults_),
+      traffic_(cfg.pattern, faults_, cfg.hotspotFraction),
       arena_(static_cast<int>(topo_.nodeCount()), topo_.totalPorts(),
              topo_.networkPorts(), cfg.vcs, cfg.bufferDepth),
       engineRng_(Rng(cfg.seed).split(0xE61E)) {

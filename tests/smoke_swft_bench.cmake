@@ -1,0 +1,47 @@
+# CTest smoke script: `swft_bench --list` must enumerate the experiment
+# registry and the canonical traffic-pattern names.
+#
+#   cmake -DSWFT_BENCH=<path-to-binary> -P smoke_swft_bench.cmake
+if(NOT SWFT_BENCH)
+  message(FATAL_ERROR "pass -DSWFT_BENCH=<path to swft_bench>")
+endif()
+
+execute_process(
+  COMMAND ${SWFT_BENCH} --list
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "swft_bench --list exited with ${rc}\nstderr: ${err}")
+endif()
+
+if(NOT out MATCHES "([0-9]+) registered experiments:")
+  message(FATAL_ERROR "missing experiment count line:\n${out}")
+endif()
+set(count ${CMAKE_MATCH_1})
+if(count LESS 11)
+  message(FATAL_ERROR "expected >= 11 registered experiments, got ${count}:\n${out}")
+endif()
+
+foreach(name fig3 fig4 fig5 fig6 fig7 model_vs_sim abl_buffer_depth
+        abl_reinjection_overhead abl_vc_partition scan_radix faultscape)
+  if(NOT out MATCHES "  ${name} ")
+    message(FATAL_ERROR "experiment '${name}' missing from --list:\n${out}")
+  endif()
+endforeach()
+
+if(NOT out MATCHES "traffic patterns: uniform transpose bitcomp bitrev shuffle tornado hotspot")
+  message(FATAL_ERROR "traffic pattern footer missing or drifted:\n${out}")
+endif()
+
+# Unknown experiment names must fail loudly, not silently no-op.
+execute_process(
+  COMMAND ${SWFT_BENCH} --run no_such_experiment
+  RESULT_VARIABLE rc2
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc2 EQUAL 0)
+  message(FATAL_ERROR "--run with an unknown name should exit non-zero")
+endif()
+
+message(STATUS "swft_bench smoke OK (${count} experiments)")

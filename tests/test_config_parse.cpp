@@ -51,6 +51,29 @@ TEST(ConfigParse, RoutingAndPatternEnums) {
   EXPECT_EQ(parse({"pattern=hotspot"}).pattern, TrafficPattern::Hotspot);
 }
 
+TEST(ConfigParse, TrafficKeyRoundTripsEveryPatternName) {
+  // `traffic=` accepts exactly the canonical trafficPatternName tokens, so
+  // the parser, the CLI help and `swft_bench --list` can never drift.
+  for (const TrafficPattern p : kAllTrafficPatterns) {
+    const std::string key = "traffic=" + std::string(trafficPatternName(p));
+    EXPECT_EQ(parse({key}).pattern, p) << key;
+  }
+  EXPECT_EQ(parse({"traffic=bitrev"}).pattern, TrafficPattern::BitReversal);
+  EXPECT_EQ(parse({"traffic=shuffle"}).pattern, TrafficPattern::Shuffle);
+  EXPECT_EQ(parse({"traffic=tornado"}).pattern, TrafficPattern::Tornado);
+  EXPECT_THROW(parse({"traffic=worst"}), std::invalid_argument);
+}
+
+TEST(ConfigParse, HotspotFractionRoundTrip) {
+  EXPECT_DOUBLE_EQ(SimConfig{}.hotspotFraction, 0.1);
+  const SimConfig cfg = parse({"traffic=hotspot", "hotspot_fraction=0.35"});
+  EXPECT_EQ(cfg.pattern, TrafficPattern::Hotspot);
+  EXPECT_DOUBLE_EQ(cfg.hotspotFraction, 0.35);
+  EXPECT_THROW(parse({"hotspot_fraction=1.5"}), std::invalid_argument);
+  EXPECT_THROW(parse({"hotspot_fraction=-0.1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"hotspot_fraction=lots"}), std::invalid_argument);
+}
+
 TEST(ConfigParse, RegionWithAnchor) {
   const SimConfig cfg = parse({"k=8", "n=2", "region=U:4x3@2,5"});
   ASSERT_EQ(cfg.faults.regions.size(), 1u);

@@ -1,0 +1,250 @@
+// The declarative experiment subsystem: registry contents, deterministic
+// sharding, artifact naming/serialisation, and an end-to-end runExperiment
+// round trip on a tiny synthetic spec.
+#include "src/harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/harness/experiment_registry.hpp"
+#include "src/harness/table.hpp"
+#include "tests/naming.hpp"
+
+namespace swft {
+namespace {
+
+// ---- registry (this binary links the bench/experiments object library) ----
+
+TEST(ExperimentRegistry, AllPortedAndNewExperimentsRegistered) {
+  auto& reg = ExperimentRegistry::instance();
+  EXPECT_GE(reg.size(), 11u);
+  for (const char* name :
+       {"fig3", "fig4", "fig5", "fig6", "fig7", "model_vs_sim", "abl_buffer_depth",
+        "abl_reinjection_overhead", "abl_vc_partition", "scan_radix", "faultscape"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("no_such_experiment"), nullptr);
+}
+
+TEST(ExperimentRegistry, AllIsSortedAndComplete) {
+  const auto specs = ExperimentRegistry::instance().all();
+  ASSERT_EQ(specs.size(), ExperimentRegistry::instance().size());
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_LT(specs[i - 1]->name, specs[i]->name);
+  }
+}
+
+TEST(ExperimentRegistry, EveryGridHasUniqueLabelsAndValidColumns) {
+  for (const ExperimentSpec* spec : ExperimentRegistry::instance().all()) {
+    const auto points = spec->build();
+    EXPECT_FALSE(points.empty()) << spec->name;
+    std::set<std::string> labels;
+    for (const auto& p : points) {
+      EXPECT_TRUE(labels.insert(p.label).second)
+          << spec->name << ": duplicate label " << p.label;
+    }
+    // Sharding and CSV merging key on the label, so uniqueness is load-bearing.
+    SimResult dummy{};
+    for (const std::string& col : spec->columns) {
+      EXPECT_NO_THROW((void)resultField(dummy, col)) << spec->name << ": " << col;
+    }
+  }
+}
+
+TEST(ExperimentRegistry, DuplicateRegistrationThrows) {
+  ExperimentSpec dup;
+  dup.name = "fig3";
+  dup.build = [] { return std::vector<SweepPoint>{}; };
+  EXPECT_THROW(ExperimentRegistry::instance().add(std::move(dup)), std::invalid_argument);
+  ExperimentSpec unnamed;
+  unnamed.build = [] { return std::vector<SweepPoint>{}; };
+  EXPECT_THROW(ExperimentRegistry::instance().add(std::move(unnamed)),
+               std::invalid_argument);
+}
+
+// ---- sharding -------------------------------------------------------------
+
+TEST(Sharding, ParseShard) {
+  EXPECT_EQ(parseShard("0/4").index, 0);
+  EXPECT_EQ(parseShard("0/4").count, 4);
+  EXPECT_EQ(parseShard("3/4").index, 3);
+  EXPECT_TRUE(parseShard("0/1").isAll());
+  for (const char* bad : {"", "4", "4/4", "-1/4", "0/0", "a/4", "0/b", "1/4/2"}) {
+    EXPECT_THROW((void)parseShard(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Sharding, StableHashIsPinned) {
+  // FNV-1a 64 test vectors — the cross-machine sharding contract. If this
+  // test breaks, shards computed by different builds no longer agree.
+  EXPECT_EQ(stableLabelHash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stableLabelHash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stableLabelHash("adp/nf3"), stableLabelHash("adp/nf3"));
+  EXPECT_NE(stableLabelHash("adp/nf3"), stableLabelHash("adp/nf4"));
+}
+
+TEST(Sharding, ShardsPartitionEveryRegisteredGrid) {
+  for (const ExperimentSpec* spec : ExperimentRegistry::instance().all()) {
+    const auto points = spec->build();
+    const int N = 4;
+    std::multiset<std::string> unionLabels;
+    std::size_t total = 0;
+    for (int i = 0; i < N; ++i) {
+      const auto mine = shardPoints(points, ShardSpec{i, N});
+      total += mine.size();
+      for (const auto& p : mine) unionLabels.insert(p.label);
+    }
+    EXPECT_EQ(total, points.size()) << spec->name;
+    std::multiset<std::string> allLabels;
+    for (const auto& p : points) allLabels.insert(p.label);
+    EXPECT_EQ(unionLabels, allLabels) << spec->name;
+  }
+}
+
+TEST(Sharding, ShardPreservesGridOrder) {
+  std::vector<SweepPoint> points;
+  for (int i = 0; i < 32; ++i) {
+    SweepPoint p;
+    p.label = catName({"p", std::to_string(i)});
+    points.push_back(p);
+  }
+  const auto mine = shardPoints(points, ShardSpec{1, 3});
+  std::size_t pos = 0;
+  for (const auto& p : mine) {
+    const auto it = std::find_if(points.begin() + static_cast<std::ptrdiff_t>(pos),
+                                 points.end(),
+                                 [&](const SweepPoint& q) { return q.label == p.label; });
+    ASSERT_NE(it, points.end());
+    pos = static_cast<std::size_t>(it - points.begin()) + 1;
+  }
+}
+
+// ---- runExperiment end-to-end --------------------------------------------
+
+ExperimentSpec tinySpec(const std::string& name) {
+  ExperimentSpec spec;
+  spec.name = name;
+  spec.description = "synthetic 4-ary 2-cube grid";
+  spec.columns = {"latency", "throughput"};
+  spec.build = [] {
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 6; ++i) {
+      SweepPoint p;
+      p.label = catName({"pt", std::to_string(i)});
+      p.cfg.radix = 4;
+      p.cfg.dims = 2;
+      p.cfg.vcs = 2;
+      p.cfg.messageLength = 4;
+      p.cfg.injectionRate = 0.002 * (i + 1);
+      p.cfg.warmupMessages = 50;
+      p.cfg.measuredMessages = 300;
+      p.cfg.maxCycles = 200'000;
+      p.cfg.seed = 77 + static_cast<std::uint64_t>(i);
+      points.push_back(std::move(p));
+    }
+    return points;
+  };
+  return spec;
+}
+
+std::string sortedDataRows(const std::string& csv) {
+  std::stringstream ss(csv);
+  std::string line;
+  std::vector<std::string> rows;
+  while (std::getline(ss, line)) {
+    // Concatenated shard files repeat the header; drop every occurrence.
+    if (!line.empty() && !line.starts_with("label,")) rows.push_back(line);
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const auto& r : rows) out += r + "\n";
+  return out;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(RunExperiment, ShardedRunsUnionEqualsUnshardedRun) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "swft_experiment_test").string();
+  std::filesystem::create_directories(dir);
+  const ExperimentSpec spec = tinySpec("tiny_shard");
+
+  RunOptions opt;
+  opt.outDir = dir;
+  opt.threads = 2;
+  opt.progress = false;
+  std::ostringstream log;
+
+  const ExperimentRun full = runExperiment(spec, opt, log);
+  EXPECT_EQ(full.rows.size(), 6u);
+  EXPECT_EQ(full.totalPoints, 6u);
+  ASSERT_TRUE(std::filesystem::exists(full.artifactPath));
+
+  std::string mergedCsv;
+  std::size_t shardRows = 0;
+  for (int i = 0; i < 4; ++i) {
+    RunOptions sharded = opt;
+    sharded.shard = ShardSpec{i, 4};
+    const ExperimentRun run = runExperiment(spec, sharded, log);
+    EXPECT_EQ(run.totalPoints, 6u);
+    shardRows += run.rows.size();
+    EXPECT_NE(run.artifactPath, full.artifactPath) << "shard artifacts must not collide";
+    mergedCsv += slurp(run.artifactPath);
+  }
+  EXPECT_EQ(shardRows, 6u);
+  // After a stable sort by row text (labels are unique and lead the row),
+  // the concatenated shard outputs equal the unsharded output exactly.
+  EXPECT_EQ(sortedDataRows(mergedCsv), sortedDataRows(slurp(full.artifactPath)));
+}
+
+TEST(RunExperiment, JsonArtifactMirrorsRows) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "swft_experiment_test").string();
+  std::filesystem::create_directories(dir);
+  ExperimentSpec spec = tinySpec("tiny_json");
+  bool epilogueRan = false;
+  spec.epilogue = [&](const std::vector<SweepRow>& rows) {
+    epilogueRan = true;
+    return "epilogue rows=" + std::to_string(rows.size()) + "\n";
+  };
+
+  RunOptions opt;
+  opt.outDir = dir;
+  opt.format = OutputFormat::Json;
+  opt.threads = 1;
+  opt.progress = false;
+  std::ostringstream log;
+  const ExperimentRun run = runExperiment(spec, opt, log);
+
+  EXPECT_TRUE(epilogueRan);
+  EXPECT_NE(log.str().find("epilogue rows=6"), std::string::npos);
+  EXPECT_TRUE(run.artifactPath.ends_with("tiny_json.json"));
+  const std::string json = slurp(run.artifactPath);
+  EXPECT_NE(json.find("\"schema\": \"swft-experiment-rows-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"pt0\""), std::string::npos);
+  EXPECT_NE(json.find("\"traffic\": \"uniform\""), std::string::npos);
+  EXPECT_EQ(rowsToJson(run.rows), json);
+}
+
+TEST(RunExperiment, ArtifactNames) {
+  const ExperimentSpec spec = tinySpec("fig_x");
+  RunOptions opt;
+  EXPECT_EQ(artifactName(spec, opt), "fig_x.csv");
+  opt.shard = ShardSpec{2, 4};
+  EXPECT_EQ(artifactName(spec, opt), "fig_x.shard2-of-4.csv");
+  opt.format = OutputFormat::Json;
+  EXPECT_EQ(artifactName(spec, opt), "fig_x.shard2-of-4.json");
+}
+
+}  // namespace
+}  // namespace swft

@@ -19,12 +19,13 @@ namespace {
 void printUsage() {
   std::puts(
       "usage: swft_sim [--csv] key=value...\n"
-      "keys: k n vcs escape_vcs buffer_depth msg_length rate routing pattern\n"
-      "      delta td nf region warmup measured max_cycles seed\n"
-      "      livelock_threshold engine\n"
+      "keys: k n vcs escape_vcs buffer_depth msg_length rate routing traffic\n"
+      "      hotspot_fraction delta td nf region warmup measured max_cycles\n"
+      "      seed livelock_threshold engine\n"
       "examples:\n"
       "  swft_sim k=8 n=3 vcs=10 rate=0.007 routing=adaptive nf=12\n"
-      "  swft_sim k=8 n=2 region=U:4x3@2,2 routing=det rate=0.004");
+      "  swft_sim k=8 n=2 region=U:4x3@2,2 routing=det rate=0.004\n"
+      "  swft_sim k=8 n=2 traffic=tornado rate=0.005");
 }
 
 }  // namespace
