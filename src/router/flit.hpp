@@ -60,6 +60,11 @@ class FlitFifo {
     assert(!empty());
     return flit_[head_];
   }
+  /// Peek `i` positions behind the front (0 = front). Test/debug walks.
+  [[nodiscard]] const Flit& flitAt(int i) const noexcept {
+    assert(i >= 0 && i < size_);
+    return flit_[(head_ + i) % kMaxDepth];
+  }
   [[nodiscard]] std::uint64_t frontArrival() const noexcept {
     assert(!empty());
     return arrival_[head_];

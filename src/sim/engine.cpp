@@ -24,6 +24,53 @@
 
 #include "src/sim/network.hpp"
 
+#ifdef SWFT_PHASE_TIMERS
+#include <chrono>
+#include <cstdio>
+namespace {
+struct PhaseTimers {
+  double gen = 0, inj = 0, router = 0;
+  ~PhaseTimers() {
+    std::fprintf(stderr, "phase timers: gen %.3fs inj %.3fs router %.3fs\n", gen,
+                 inj, router);
+  }
+} g_pt;
+inline double nowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+#define SWFT_PT_MARK(var) const double pt_##var = nowSec()
+#define SWFT_PT_ADD(field, a, b) g_pt.field += pt_##b - pt_##a
+#else
+#define SWFT_PT_MARK(var)
+#define SWFT_PT_ADD(field, a, b)
+#endif
+
+// Temporary event-count instrumentation (diagnostics only, off by default).
+#ifdef SWFT_EVENT_COUNTS
+#include <cstdio>
+namespace {
+struct EventCounts {
+  unsigned long long cycles = 0, routers = 0, phaseAUnits = 0, livePorts = 0,
+                     okIters = 0, commits = 0, ejections = 0, ejCand = 0;
+  ~EventCounts() {
+    std::fprintf(stderr,
+                 "event counts per cycle: routers %.2f phaseA %.2f livePorts "
+                 "%.2f okIters %.2f commits %.2f ejCand %.2f ejections %.2f\n",
+                 1.0 * routers / cycles, 1.0 * phaseAUnits / cycles,
+                 1.0 * livePorts / cycles, 1.0 * okIters / cycles,
+                 1.0 * commits / cycles, 1.0 * ejCand / cycles,
+                 1.0 * ejections / cycles);
+  }
+} g_ec;
+}  // namespace
+#define SWFT_EC_ADD(field, n) g_ec.field += static_cast<unsigned long long>(n)
+#else
+#define SWFT_EC_ADD(field, n)
+#endif
+
 namespace swft {
 
 void Network::advanceCycle() {
@@ -41,6 +88,8 @@ void Network::advanceCycle() {
 }
 
 void Network::advanceCycleSparse() {
+  SWFT_PT_MARK(t0);
+  SWFT_EC_ADD(cycles, 1);
   // Phase 1a: generation, due PEs only. The calendar returns them ascending
   // by id — the order the dense sweep would reach them — so the global
   // generation sequence numbers match. Generation touches no injection
@@ -52,6 +101,8 @@ void Network::advanceCycleSparse() {
     if (next != ~std::uint64_t{0}) calendar_.schedule(id, next);
   }
 
+  SWFT_PT_MARK(t1);
+  SWFT_PT_ADD(gen, t0, t1);
   // Phase 1b: injection, only PEs with queued or streaming work, ascending.
   // stepInjection on a workless node is a no-op with no RNG draws, so the
   // conservative bitset (cleared lazily here) cannot change results.
@@ -65,6 +116,8 @@ void Network::advanceCycleSparse() {
     }
   }
 
+  SWFT_PT_MARK(t2);
+  SWFT_PT_ADD(inj, t1, t2);
   // Phase 2+3: walk the live active set in the alternating sweep direction.
   // stepRouter can activate a *downstream* router mid-sweep (a flit pushed
   // into a previously-empty buffer); the dense sweep visits such a router
@@ -91,6 +144,8 @@ void Network::advanceCycleSparse() {
       }
     }
   }
+  SWFT_PT_MARK(t3);
+  SWFT_PT_ADD(router, t2, t3);
 }
 
 void Network::stepGeneration(NodeId id) {
@@ -164,19 +219,32 @@ bool Network::stepInjection(NodeId id) {
     Message& m = pool_.get(next);
     m.resetTransit();  // fresh network segment: wrap classes reset
     m.flitsEjected = 0;
+    node.streamLen = m.length;  // flit kinds need no pool access per flit
     if (m.firstInjectCycle == ~std::uint64_t{0}) m.firstInjectCycle = cycle_;
   }
 
   // Stream one flit per cycle (injection channel bandwidth, assumption (g)).
+  // The flit kind is Message::flitKindAt over the cached stream length, so
+  // body/tail flits touch no pool state at all.
   const int unitIdx = arena_.unitIndex(id, injPort, node.streamVc);
-  if (arena_.full(unitIdx)) return false;
-  Message& m = pool_.get(node.streaming);
+  // Blocked on a full injection buffer: park the node (no RNG is drawn on
+  // this path, so skipping the retry calls is invisible to the dense
+  // reference). Any pop of an injection unit re-arms the work bit — see
+  // commitLink/ejectFlit — and a full buffer that is never popped blocks
+  // the dense engine's retries just the same.
+  if (arena_.full(unitIdx)) return true;
+  const int idx = node.nextFlit;
+  const int len = node.streamLen;
   Flit f;
   f.msg = node.streaming;
-  f.kind = m.flitKindAt(node.nextFlit);
+  f.kind = len == 1            ? FlitKind::HeaderTail
+           : idx == 0          ? FlitKind::Header
+           : idx == len - 1    ? FlitKind::Tail
+                               : FlitKind::Body;
   arena_.push(id, unitIdx, f, cycle_);
   lastMovementCycle_ = cycle_;
-  if (trace_ != nullptr && node.nextFlit == 0) {
+  if (trace_ != nullptr && idx == 0) {
+    const Message& m = pool_.get(node.streaming);
     trace_->record({m.absorptions > 0 ? TraceEvent::Kind::Reinject
                                       : TraceEvent::Kind::Inject,
                     cycle_, id, 0, m.seq});
@@ -222,15 +290,18 @@ void Network::routeHeader(NodeId id, int unitIdx) {
   // Virtual-channel allocation: collect free output VCs over all candidates
   // and pick one at random (assumption (e): "chooses randomly one of the
   // available virtual channels ... that brings it closer to its destination").
+  // The per-port free-VC bitmask mirrors outOwner state, so one AND replaces
+  // the per-VC owner probes; bit iteration visits VCs in ascending order,
+  // matching the dense reference's scan (and hence its RNG draw) exactly.
   InlineVector<std::uint16_t, 128> free;  // encoded port * 16 + vc
   for (const RouteCandidate& cand : decision.candidates) {
-    if (free.size() == free.capacity()) break;
-    for (int vc = 0; vc < cfg_.vcs; ++vc) {
-      if (!(cand.vcs & (1u << vc))) continue;
-      if (arena_.outOwner(id, cand.outPort, vc) >= 0) continue;
+    std::uint32_t avail = cand.vcs & arena_.freeVcMask(id, cand.outPort);
+    while (avail != 0 && free.size() < free.capacity()) {
+      const int vc = std::countr_zero(avail);
+      avail &= avail - 1;
       free.push_back(static_cast<std::uint16_t>(cand.outPort * 16 + vc));
-      if (free.size() == free.capacity()) break;
     }
+    if (free.size() == free.capacity()) break;
   }
   if (free.empty()) return;  // all admissible VCs busy: retry next cycle
   const std::uint16_t pick =
@@ -242,146 +313,203 @@ void Network::routeHeader(NodeId id, int unitIdx) {
 }
 
 void Network::stepRouter(NodeId id) {
-  const int ports = topo_.totalPorts();
-  const int localPort = topo_.localPort();
+  SWFT_EC_ADD(routers, 1);
+  const int localPort = networkPorts_;
   const auto td = static_cast<std::uint64_t>(cfg_.routerDecisionTime);
   const int routerBase = arena_.base(id);
-  const int unitCount = arena_.unitsPerRouter();
   const int occW = arena_.occWordsPerRouter();
   const std::uint64_t* occ = arena_.occWords(id);
 
   // Phase A: route computation + VC allocation for occupied unrouted heads,
   // in ascending unit order. This is the only RNG-drawing part of a router
   // step, so the order must match the dense reference scan exactly.
+  const std::uint64_t* routedW = arena_.routedWords(id);
   {
-    const std::uint64_t* routedW = arena_.routedWords(id);
     for (int w = 0; w < occW; ++w) {
       std::uint64_t bits = occ[w] & ~routedW[w];
       while (bits) {
         const int unitIdx = w * 64 + std::countr_zero(bits);
         bits &= bits - 1;
         const int g = routerBase + unitIdx;
+        SWFT_EC_ADD(phaseAUnits, 1);
         if (!arena_.front(g).isHeader()) continue;
-        if (arena_.frontArrival(g) + td > cycle_) continue;  // Td model
+        if (td != 0 && arena_.frontArrival(g) + td > cycle_) continue;  // Td model
         routeHeader(id, unitIdx);
       }
     }
   }
 
-  // Phase B winner selection: per output port, the first *eligible*
-  // requester (front flit arrived before this cycle, downstream credit
-  // available) in circular round-robin order from the port cursor — exactly
-  // the min-key winner of the dense reference's full scan. Two strategies
-  // pick the same winners: nearly-empty routers scan their few occupied
-  // units directly; busy routers walk the per-port request masks so the
-  // cost is O(requesters probed), not O(occupied units).
-  InlineVector<std::int16_t, 2 * kMaxDims + 1> winner;
-  winner.resize(static_cast<std::size_t>(ports), -1);
-  const auto eligible = [&](int unitIdx, int port) -> bool {
-    const int g = routerBase + unitIdx;
-    if (arena_.frontArrival(g) >= cycle_) return false;  // arrived this cycle
-    if (port != localPort &&
-        arena_.full(cachedDownBase(id, port) +
-                    RouterArena::wordOutVc(arena_.routeWord(g)))) {
-      return false;  // no downstream credit
-    }
-    return true;
-  };
+  // Phase B: the batched link pass. One pass per output link, ascending port
+  // order with the ejection port last: the link's candidate set is a single
+  // request-mask word ANDed with the occupancy word, its downstream credit
+  // line is hoisted once (the V downstream buffer sizes are contiguous
+  // uint16s), and the first eligible candidate in circular round-robin order
+  // from the port cursor — exactly the min-key winner of the dense
+  // reference's full scan — commits immediately.
+  //
+  // Fusing selection and commit per link is legal because links of one
+  // router cannot interfere: a commit on port p pops a unit that requests
+  // only p (route words are per-unit), pushes into neighbor(id, p)'s input
+  // port p^1 while port q's credit line lives at neighbor(id, q)'s input
+  // port q^1 (distinct unless p == q, even when both ports reach the same
+  // neighbor on a radix-2 ring), and cursors are per-port. Hence every
+  // eligibility probe reads exactly the state the dense engine's
+  // select-all-then-commit pass would read. The ejection port commits last
+  // so software-layer RNG draws (absorption replanning) stay in the dense
+  // engine's position in the stream.
+  const std::uint32_t* rw = arena_.routeRow(routerBase);
+  const auto fullDepth = static_cast<std::uint16_t>(arena_.depth());
+  const std::uint64_t* faRow = arena_.frontArrivalRow(routerBase);
 
-  if (arena_.occupiedUnits(id) < ports) {
-    // Sparse router: one pass over the few occupied units, min round-robin
-    // key per port.
-    InlineVector<std::int16_t, 2 * kMaxDims + 1> winnerKey;
-    winnerKey.resize(static_cast<std::size_t>(ports), std::int16_t{0x7FFF});
-    const std::uint64_t* routedW = arena_.routedWords(id);
-    for (int w = 0; w < occW; ++w) {
-      std::uint64_t bits = occ[w] & routedW[w];
-      while (bits) {
-        const int unitIdx = w * 64 + std::countr_zero(bits);
-        bits &= bits - 1;
-        const int port =
-            RouterArena::wordOutPort(arena_.routeWord(routerBase + unitIdx));
-        if (!eligible(unitIdx, port)) continue;
-        int key = unitIdx - arena_.cursor(id, port);
-        if (key < 0) key += unitCount;
-        if (key < winnerKey[static_cast<std::size_t>(port)]) {
-          winnerKey[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(key);
-          winner[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(unitIdx);
-        }
-      }
+  if (occW == 1) {
+    // Every router configuration with <= 64 input units. One branchless pass
+    // over the live units (occupied AND routed: exactly the union of every
+    // link's candidate set) qualifies each unit — front arrived before this
+    // cycle AND its downstream size row has credit; the ejection port's row
+    // is the arena's always-zero credit sink, so no unit needs a locality
+    // branch — and buckets the qualified bits per output port. Reading all
+    // qualifications from pre-commit state is legal by the non-interference
+    // argument above: no commit on port p changes port q's candidates, their
+    // arrival stamps, or their downstream credit line.
+    const std::uint64_t live = occ[0] & routedW[0];
+    // Qualified-candidate mask per output port. occW == 1 bounds the unit
+    // count by 64 and hence the port count by 64 / vcs; only the live range
+    // is zeroed (a short, trip-predictable loop).
+    std::uint64_t okp[64];
+    for (int p = 0; p <= localPort; ++p) okp[p] = 0;
+    std::uint64_t pm = 0;  // ports with at least one qualified candidate
+    std::uint64_t m = live;
+    while (m != 0) {
+      SWFT_EC_ADD(okIters, 1);
+      const int u = std::countr_zero(m);
+      m &= m - 1;
+      const std::uint32_t r = rw[u];
+      const int port = RouterArena::wordOutPort(r);
+      const std::uint64_t q = static_cast<std::uint64_t>(
+          (faRow[u] < cycle_) &
+          (arena_.sizeRow(cachedDownBase(id, port))[RouterArena::wordOutVc(r)] !=
+           fullDepth));
+      okp[port] |= q << u;
+      pm |= q << port;
     }
-  } else {
-    for (int port = 0; port < ports; ++port) {
-      const std::uint64_t* req = arena_.requestWords(id, port);
+    // Commit winners in ascending port order, ejection (the highest port)
+    // last. Per port, the first qualified bit in circular round-robin order
+    // from the cursor is picked with one rotate: rotr moves bit u to
+    // (u - cur) mod 64, so the lowest rotated bit is exactly the min-key
+    // winner of the dense reference's scan.
+    const int unitCount = arena_.unitsPerRouter();
+    while (pm != 0) {
+      SWFT_EC_ADD(livePorts, 1);
+      const int port = std::countr_zero(pm);
+      pm &= pm - 1;
       const int cur = arena_.cursor(id, port);
-      const int cw = cur >> 6;
-      const int cb = cur & 63;
-      for (int k = 0; k <= occW && winner[static_cast<std::size_t>(port)] < 0; ++k) {
-        int w = cw + k;
-        if (w >= occW) w -= occW;
-        std::uint64_t m = req[w] & occ[w];
-        if (k == 0) {
-          m &= ~0ULL << cb;
-        } else if (k == occW) {
-          m &= (cb == 0) ? 0 : ((1ULL << cb) - 1);  // wrapped tail of cursor word
-        }
-        while (m) {
-          const int unitIdx = w * 64 + std::countr_zero(m);
-          m &= m - 1;
-          if (!eligible(unitIdx, port)) continue;
-          winner[static_cast<std::size_t>(port)] = static_cast<std::int16_t>(unitIdx);
-          break;
-        }
+      const std::uint64_t rot = std::rotr(okp[port], cur);
+      const int winnerIdx = (cur + std::countr_zero(rot)) & 63;
+      if (port == localPort) {
+        arena_.setCursor(id, port,
+                         static_cast<std::uint16_t>(
+                             winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+        SWFT_EC_ADD(ejections, 1);
+        ejectFlit(id, winnerIdx);
+      } else {
+        SWFT_EC_ADD(commits, 1);
+        commitLink(id, port, winnerIdx);
       }
     }
+    return;
   }
 
-  // Commit pass: switch traversal for each port's winner, ejection port
-  // last so software-layer RNG draws (absorption replanning) stay in the
-  // dense engine's position in the stream.
-  for (int port = 0; port < ports; ++port) {
-    const int winnerIdx = winner[static_cast<std::size_t>(port)];
-    if (winnerIdx < 0) continue;
-    arena_.setCursor(id, port,
-                     static_cast<std::uint16_t>(
-                         winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
-    if (port == localPort) {
-      ejectFlit(id, winnerIdx);
-      continue;
-    }
-    const int g = routerBase + winnerIdx;
-    const int outVc = arena_.outVc(g);
-    const Flit flit = arena_.pop(id, g);
-    lastMovementCycle_ = cycle_;
-
-    // Only headers touch Message state on a link traversal: body/tail flits
-    // skip the (random-access) pool load entirely.
-    if (flit.isHeader()) {
-      Message& msg = pool_.get(flit.msg);
-      ++msg.hops;
-      if (cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
-      if (trace_ != nullptr) {
-        trace_->record({TraceEvent::Kind::Hop, cycle_, id,
-                        static_cast<std::uint8_t>(port), msg.seq});
+  // Generic multi-word path (routers with more than 64 input units, e.g. a
+  // 3-cube with V = 10): same per-link batching, candidate words walked
+  // circularly from the cursor word.
+  const int unitCount = arena_.unitsPerRouter();
+  for (int port = 0; port <= localPort; ++port) {
+    const std::uint64_t* req = arena_.requestWords(id, port);
+    const bool isLocal = port == localPort;
+    const std::uint16_t* downSizes =
+        isLocal ? nullptr : arena_.sizeRow(cachedDownBase(id, port));
+    const int cur = arena_.cursor(id, port);
+    const int cw = cur >> 6;
+    const int cb = cur & 63;
+    int winnerIdx = -1;
+    for (int k = 0; k <= occW && winnerIdx < 0; ++k) {
+      int w = cw + k;
+      if (w >= occW) w -= occW;
+      std::uint64_t m = req[w] & occ[w];
+      if (k == 0) {
+        m &= ~0ULL << cb;
+      } else if (k == occW) {
+        m &= (cb == 0) ? 0 : ((1ULL << cb) - 1);  // wrapped tail of cursor word
+      }
+      while (m != 0) {
+        const int u = w * 64 + std::countr_zero(m);
+        m &= m - 1;
+        if (faRow[u] >= cycle_) continue;  // front arrived this cycle
+        if (!isLocal && downSizes[RouterArena::wordOutVc(rw[u])] == fullDepth) {
+          continue;  // no downstream credit
+        }
+        winnerIdx = u;
+        break;
       }
     }
-    arena_.push(cachedNeighbor(id, port), cachedDownBase(id, port) + outVc, flit,
-                cycle_);
-
-    if (flit.isTail()) {
-      arena_.releaseRoute(id, winnerIdx);
-      arena_.setOutOwner(id, port, outVc, -1);
+    if (winnerIdx < 0) continue;
+    if (isLocal) {
+      arena_.setCursor(id, port,
+                       static_cast<std::uint16_t>(
+                           winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+      ejectFlit(id, winnerIdx);
+    } else {
+      commitLink(id, port, winnerIdx);
     }
   }
 }
 
-void Network::ejectFlit(NodeId id, int unitIdx) {
-  const int g = arena_.base(id) + unitIdx;
-  const Flit flit = arena_.pop(id, g);
+inline void Network::commitLink(NodeId id, int port, int winnerIdx) {
+  const int unitCount = arena_.unitsPerRouter();
+  arena_.setCursor(id, port,
+                   static_cast<std::uint16_t>(
+                       winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+  const int g = arena_.base(id) + winnerIdx;
+  const int outVc = arena_.outVc(g);
+  const Flit flit = arena_.pop(id, g, cycle_);
   lastMovementCycle_ = cycle_;
+  // Draining an injection unit re-arms the owning PE: it may have been
+  // parked by stepInjection while this buffer was full.
+  if (winnerIdx >= networkPorts_ * cfg_.vcs) markNodeWork(id);
 
-  Message& msg = pool_.get(flit.msg);
-  ++msg.flitsEjected;
+  // Only headers touch Message state on a link traversal: body/tail flits
+  // skip the (random-access) pool load entirely.
+  if (flit.isHeader()) {
+    Message& msg = pool_.get(flit.msg);
+    ++msg.hops;
+    if (cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
+    if (trace_ != nullptr) {
+      trace_->record({TraceEvent::Kind::Hop, cycle_, id,
+                      static_cast<std::uint8_t>(port), msg.seq});
+    }
+  }
+  arena_.push(cachedNeighbor(id, port), cachedDownBase(id, port) + outVc, flit,
+              cycle_);
+
+  if (flit.isTail()) {
+    arena_.releaseRoute(id, winnerIdx);
+    arena_.setOutOwner(id, port, outVc, -1);
+  }
+}
+
+inline void Network::ejectFlit(NodeId id, int unitIdx) {
+  const int g = arena_.base(id) + unitIdx;
+  const Flit flit = arena_.pop(id, g, cycle_);
+  lastMovementCycle_ = cycle_;
+  // Self-absorbed traffic can eject straight out of an injection unit; the
+  // drain re-arms the owning PE just as a link traversal would.
+  if (unitIdx >= networkPorts_ * cfg_.vcs) markNodeWork(id);
+
+#ifndef NDEBUG
+  // flitsEjected feeds only the partial-ejection assert in finalizeEjected;
+  // body/tail ejections need no pool access in release builds.
+  ++pool_.get(flit.msg).flitsEjected;
+#endif
   if (flit.isTail()) {
     arena_.releaseRoute(id, unitIdx);
     finalizeEjected(id, flit.msg);

@@ -36,7 +36,8 @@ Network::Network(const SimConfig& cfg)
       software_(*software0_),
       traffic_(cfg.pattern, faults_, cfg.hotspotFraction),
       arena_(static_cast<int>(topo_.nodeCount()), topo_.totalPorts(),
-             topo_.networkPorts(), cfg.vcs, cfg.bufferDepth),
+             topo_.networkPorts(), cfg.vcs, cfg.bufferDepth,
+             /*exactArrivals=*/cfg.routerDecisionTime > 0),
       engineRng_(Rng(cfg.seed).split(0xE61E)) {
   if (cfg.engine == EngineKind::Dense) {
     // The dense reference engine runs on the seed's per-router storage; the
@@ -66,7 +67,11 @@ Network::Network(const SimConfig& cfg)
   nbr_.resize(static_cast<std::size_t>(topo_.nodeCount()) *
               static_cast<std::size_t>(networkPorts_));
   wrapBit_.resize(nbr_.size());
-  downBase_.resize(nbr_.size());
+  // downBase_ has a row per *total* port: the ejection port's entry points at
+  // the arena's always-zero credit sink, so the link-qualification loop can
+  // read a downstream size row for every port without branching on locality.
+  downBase_.resize(static_cast<std::size_t>(topo_.nodeCount()) *
+                   static_cast<std::size_t>(networkPorts_ + 1));
   for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
     for (int port = 0; port < networkPorts_; ++port) {
       const std::size_t idx =
@@ -74,9 +79,15 @@ Network::Network(const SimConfig& cfg)
           static_cast<std::size_t>(port);
       nbr_[idx] = topo_.neighbor(id, port);
       wrapBit_[idx] = topo_.isWrapLink(id, dimOfPort(port), dirOfPort(port)) ? 1 : 0;
-      downBase_[idx] = static_cast<std::int32_t>(arena_.base(nbr_[idx]) +
-                                                 (port ^ 1) * cfg.vcs);
+      downBase_[static_cast<std::size_t>(id) *
+                    static_cast<std::size_t>(networkPorts_ + 1) +
+                static_cast<std::size_t>(port)] =
+          static_cast<std::int32_t>(arena_.base(nbr_[idx]) + (port ^ 1) * cfg.vcs);
     }
+    downBase_[static_cast<std::size_t>(id) *
+                  static_cast<std::size_t>(networkPorts_ + 1) +
+              static_cast<std::size_t>(networkPorts_)] =
+        static_cast<std::int32_t>(arena_.creditSinkBase());
   }
   if (cfg.warmupMessages == 0) {
     windowOpen_ = true;
@@ -180,11 +191,19 @@ std::string Network::validateInvariants() const {
   }
   // Injection-side work set covers every node with pending work (the
   // sparse engine never visits a node whose bit is clear, so a clear bit
-  // with queued/streaming work would silently stall that node).
+  // with queued/streaming work would silently stall that node). One
+  // exception: a node streaming into a *full* injection buffer is parked —
+  // only a router-side pop can unblock it, and that pop re-arms the bit.
   for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
     const bool bit = (nodeWork_[static_cast<std::size_t>(id) >> 6] >> (id & 63)) & 1u;
     if (!bit && !nodeIdle(id)) {
-      return "work-set bit clear for busy node " + std::to_string(id);
+      const NodeState& n = nodes_[id];
+      const bool parkedOnFullBuffer =
+          n.streaming != kInvalidMsg &&
+          arena_.full(arena_.unitIndex(id, topo_.localPort(), n.streamVc));
+      if (!parkedOnFullBuffer) {
+        return "work-set bit clear for busy node " + std::to_string(id);
+      }
     }
   }
   return {};

@@ -89,12 +89,21 @@ class Network {
   void advanceCycleSparse();
 
   void stepGeneration(NodeId id);
-  // Returns true when the node has no injection-side work left, so the
-  // sparse engine can clear its work bit without re-probing the queues.
+  // Returns true when the node can make no injection progress until an
+  // external event (queues drained, or streaming blocked on a full buffer
+  // that only a router-side pop can drain), so the sparse engine can clear
+  // its work bit; the event source re-arms it (generation: stepGeneration,
+  // buffer drain: commitLink/ejectFlit).
   bool stepInjection(NodeId id);
   // Single pass per router: route computation + VC allocation for unrouted
-  // headers, then switch arbitration and link traversal for routed units.
+  // headers, then the batched link pass (per-link switch arbitration fused
+  // with the traversal commit; see engine.cpp).
   void stepRouter(NodeId id);
+  // Winner commit for one network link: advance the round-robin cursor, pop
+  // at the winner unit, push into the hoisted downstream unit, release the
+  // route on tail departure. Force-inlined into stepRouter (its only caller)
+  // so arena row pointers stay in registers across selection and commit.
+  [[gnu::always_inline]] void commitLink(NodeId id, int port, int winnerIdx);
 
   // Seed-engine step functions over the legacy storage (engine_dense.cpp).
   void stepInjectionDense(NodeId id);
@@ -114,7 +123,7 @@ class Network {
   }
 
   void routeHeader(NodeId id, int unitIdx);
-  void ejectFlit(NodeId id, int unitIdx);
+  [[gnu::always_inline]] void ejectFlit(NodeId id, int unitIdx);
   void finalizeEjected(NodeId id, MsgId msgId);
   void scheduleReinjection(NodeId id, MsgId msgId);
   [[nodiscard]] double sourceQueueMean() const;
@@ -158,12 +167,14 @@ class Network {
   std::vector<std::uint8_t> wrapBit_;
   // Arena base of the downstream input-port units reached through (id, port):
   // neighbor * unitsPerRouter + (port ^ 1) * vcs. Adding outVc yields the
-  // downstream unit in one add — the credit check needs no multiplies.
+  // downstream unit in one add — the credit check needs no multiplies. The
+  // ejection port's entry is the arena's always-zero credit sink (the PE
+  // always accepts), so the row exists for every port of the router.
   std::vector<std::int32_t> downBase_;
 
   [[nodiscard]] std::int32_t cachedDownBase(NodeId id, int port) const noexcept {
     return downBase_[static_cast<std::size_t>(id) *
-                         static_cast<std::size_t>(networkPorts_) +
+                         static_cast<std::size_t>(networkPorts_ + 1) +
                      static_cast<std::size_t>(port)];
   }
 

@@ -27,6 +27,9 @@ struct NodeState {
   MsgId streaming = kInvalidMsg;
   int streamVc = -1;
   int nextFlit = 0;
+  /// Length of the streaming message, cached so per-flit kind computation
+  /// does not re-read the message pool (sparse engine).
+  std::uint16_t streamLen = 0;
 
   /// Next cycle at which the Poisson (geometric inter-arrival) source fires.
   std::uint64_t nextGenCycle = 0;

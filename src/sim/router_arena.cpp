@@ -5,13 +5,14 @@
 namespace swft {
 
 RouterArena::RouterArena(int nodes, int totalPorts, int networkPorts, int vcs,
-                         int bufferDepth)
+                         int bufferDepth, bool exactArrivals)
     : nodes_(nodes),
       totalPorts_(totalPorts),
       networkPorts_(networkPorts),
       vcs_(vcs),
       depth_(bufferDepth),
-      unitsPerRouter_(totalPorts * vcs) {
+      unitsPerRouter_(totalPorts * vcs),
+      exactArrivals_(exactArrivals) {
   if (bufferDepth < 1 || bufferDepth > FlitFifo::kMaxDepth) {
     throw std::invalid_argument("RouterArena: buffer depth out of range");
   }
@@ -28,10 +29,17 @@ RouterArena::RouterArena(int nodes, int totalPorts, int networkPorts, int vcs,
       static_cast<std::size_t>(nodes) * static_cast<std::size_t>(unitsPerRouter_);
   const std::size_t slots = units << strideLog2_;
   flit_.resize(slots);
-  arrival_.resize(slots, 0);
+  if (exactArrivals_) {
+    arrival_.resize(slots, 0);
+  } else {
+    lastPush_.resize(units, 0);
+  }
   frontArrival_.resize(units, 0);
   head_.resize(units, 0);
-  size_.resize(units, 0);
+  // One extra always-zero row of V sizes past the real units: the credit
+  // sink. The engine points the ejection port's "downstream" row here so the
+  // qualification loop reads one never-full size word for every port alike.
+  size_.resize(units + static_cast<std::size_t>(vcs), 0);
   route_.resize(units, 0);
   routedMask_.resize(static_cast<std::size_t>(nodes) *
                          static_cast<std::size_t>(occWords_),
@@ -42,6 +50,8 @@ RouterArena::RouterArena(int nodes, int totalPorts, int networkPorts, int vcs,
   outOwner_.resize(static_cast<std::size_t>(nodes) *
                        static_cast<std::size_t>(networkPorts * vcs),
                    -1);
+  freeVc_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(networkPorts),
+                 static_cast<std::uint16_t>((1u << vcs) - 1));
   cursor_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(totalPorts),
                  0);
   occ_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(occWords_), 0);

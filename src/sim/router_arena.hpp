@@ -31,7 +31,21 @@ namespace swft {
 
 class RouterArena {
  public:
-  RouterArena(int nodes, int totalPorts, int networkPorts, int vcs, int bufferDepth);
+  /// `exactArrivals` selects the arrival-stamp representation. With exact
+  /// stamps (default) every buffered flit keeps its arrival cycle in a ring
+  /// parallel to the flit ring — required when the router decision time Td
+  /// is nonzero, because a header's routing eligibility compares against the
+  /// true arrival cycle. With Td == 0 the only question the engine ever asks
+  /// is "did the front flit arrive strictly before the current cycle?", and
+  /// that is derivable without the ring: arrivals within one buffer strictly
+  /// increase and at most one flit enters a unit per cycle, so after a pop a
+  /// single remaining flit is the most recent push (stamp kept exactly in
+  /// `lastPush_`) while >= 2 remaining flits all arrived strictly before the
+  /// popping cycle (any stamp < now preserves every comparison). Dropping
+  /// the ring removes 8 bytes x depth-rounded slots per unit from the hot
+  /// working set.
+  RouterArena(int nodes, int totalPorts, int networkPorts, int vcs, int bufferDepth,
+              bool exactArrivals = true);
 
   // --- geometry -------------------------------------------------------------
   [[nodiscard]] int nodes() const noexcept { return nodes_; }
@@ -65,27 +79,62 @@ class RouterArena {
     return flit_[slot(u, (head_[u] + i) & strideMask_)];
   }
 
+  // --- raw SoA rows (hoists for the batched link pass) ----------------------
+  // The batched switch-allocation pass in engine.cpp touches these arrays
+  // once per candidate; exposing the row base lets it hoist the address
+  // arithmetic (and, for `sizeRow`, the whole downstream credit line of a
+  // link — V contiguous uint16 sizes) out of the per-candidate probe.
+  [[nodiscard]] const std::uint64_t* frontArrivalRow(int u) const noexcept {
+    return frontArrival_.data() + u;
+  }
+  [[nodiscard]] const std::uint32_t* routeRow(int u) const noexcept {
+    return route_.data() + u;
+  }
+  [[nodiscard]] const std::uint16_t* sizeRow(int u) const noexcept {
+    return size_.data() + u;
+  }
+  /// Base of the always-zero credit row appended past the real units (see
+  /// ctor): sizeRow(creditSinkBase()) never reports a full buffer.
+  [[nodiscard]] int creditSinkBase() const noexcept {
+    return nodes_ * unitsPerRouter_;
+  }
+
   /// Push/pop take the owning router id so the occupancy transition needs
   /// no division; callers always know it (asserted in debug builds).
   void push(NodeId node, int u, Flit f, std::uint64_t arrivalCycle) noexcept {
     assert(u >= base(node) && u < base(node) + unitsPerRouter_);
     const int s = slot(u, (head_[u] + size_[u]) & strideMask_);
     flit_[s] = f;
-    arrival_[s] = arrivalCycle;
+    if (exactArrivals_) {
+      arrival_[s] = arrivalCycle;
+    } else {
+      lastPush_[u] = arrivalCycle;
+    }
     if (size_[u]++ == 0) {
       frontArrival_[u] = arrivalCycle;
       markOccupied(node, u);
     }
   }
 
-  Flit pop(NodeId node, int u) noexcept {
+  /// `now` is the popping cycle; in the inexact-arrival mode it feeds the
+  /// conservative front stamp (see the freshness lemma in the class comment).
+  /// Engine callers must pass the current cycle; tests running in the exact
+  /// mode may omit it.
+  Flit pop(NodeId node, int u, std::uint64_t now = 0) noexcept {
     assert(u >= base(node) && u < base(node) + unitsPerRouter_);
     const Flit f = flit_[slot(u, head_[u])];
     head_[u] = static_cast<std::uint16_t>((head_[u] + 1) & strideMask_);
     if (--size_[u] == 0) {
       markEmpty(node, u);
-    } else {
+      return f;
+    }
+    if (exactArrivals_) {
       frontArrival_[u] = arrival_[slot(u, head_[u])];
+    } else if (size_[u] == 1) {
+      frontArrival_[u] = lastPush_[u];  // the survivor is the latest push
+    } else {
+      assert(now > 0 && "inexact pop needs the popping cycle");
+      frontArrival_[u] = now - 1;  // arrived strictly before now; see ctor
     }
     return f;
   }
@@ -150,6 +199,23 @@ class RouterArena {
   }
   void setOutOwner(NodeId id, int port, int vc, std::int16_t owner) noexcept {
     outOwner_[ownerIndex(id, port, vc)] = owner;
+    const std::size_t i = static_cast<std::size_t>(id) *
+                              static_cast<std::size_t>(networkPorts_) +
+                          static_cast<std::size_t>(port);
+    const auto bit = static_cast<std::uint16_t>(1u << vc);
+    if (owner < 0) {
+      freeVc_[i] |= bit;
+    } else {
+      freeVc_[i] = static_cast<std::uint16_t>(freeVc_[i] & ~bit);
+    }
+  }
+  /// Bit per VC of output port `port`: set iff the VC has no owner. Mirrors
+  /// outOwner_ exactly (maintained by setOutOwner), so the VC-allocation scan
+  /// ANDs one word instead of probing owners per VC.
+  [[nodiscard]] std::uint16_t freeVcMask(NodeId id, int port) const noexcept {
+    return freeVc_[static_cast<std::size_t>(id) *
+                       static_cast<std::size_t>(networkPorts_) +
+                   static_cast<std::size_t>(port)];
   }
 
   // --- round-robin switch-arbitration cursors -------------------------------
@@ -223,11 +289,13 @@ class RouterArena {
   int strideLog2_;   // ring stride = bit_ceil(depth); slots per unit
   int strideMask_;
   int occWords_;     // occupancy words per router
+  bool exactArrivals_;
 
   // Flit rings, struct-of-arrays: slot = (unit << strideLog2) + ringPos.
   std::vector<Flit> flit_;
-  std::vector<std::uint64_t> arrival_;
-  std::vector<std::uint64_t> frontArrival_;  // mirror of arrival_[front slot]
+  std::vector<std::uint64_t> arrival_;   // per-slot stamps (exact mode only)
+  std::vector<std::uint64_t> lastPush_;  // per-unit latest stamp (inexact mode)
+  std::vector<std::uint64_t> frontArrival_;  // stamp of the front flit
   // uint16, not uint8: unsigned-char arrays alias everything in C++, which
   // would force the optimiser to reload hot locals around every push/pop.
   std::vector<std::uint16_t> head_;
@@ -238,6 +306,7 @@ class RouterArena {
   std::vector<std::uint64_t> request_;     // (node x totalPorts) x occWords
 
   std::vector<std::int16_t> outOwner_;
+  std::vector<std::uint16_t> freeVc_;  // per (node, port): bit vc = unowned
   std::vector<std::uint16_t> cursor_;
 
   std::vector<std::uint64_t> occ_;

@@ -5,12 +5,23 @@
 // may never reorder or change live work.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "src/harness/sweep.hpp"
 #include "src/sim/config_parse.hpp"
 #include "src/sim/network.hpp"
+#include "src/sim/router_state.hpp"
 #include "tests/naming.hpp"
 
 namespace swft {
+
+// White-box access for the conservation walk (dense storage is private).
+struct NetworkTestAccess {
+  static const std::vector<RouterState>& legacy(const Network& net) {
+    return net.legacy_;
+  }
+};
+
 namespace {
 
 struct EngineCase {
@@ -104,10 +115,13 @@ INSTANTIATE_TEST_SUITE_P(Matrix, EngineEquivalence, ::testing::ValuesIn(kCases),
                            return std::string(info.param.name);
                          });
 
-// Recorded reference values for two pinned cases, captured from the dense
-// reference engine (seed semantics plus the two ISSUE-2 injection fixes:
-// peek-don't-pop requeue and the single unsigned VC-rotation draw) at the
-// PR that introduced the event-sparse engine. Any change to these numbers
+// Recorded reference values for every equivalence-matrix case, captured from
+// the dense reference engine (seed semantics plus the two ISSUE-2 injection
+// fixes: peek-don't-pop requeue and the single unsigned VC-rotation draw).
+// The first and last rows date from the PR that introduced the event-sparse
+// engine; the other six were recorded — from the dense oracle, unchanged by
+// that PR — when the batched link pass landed, so every matrix corner is now
+// pinned, not just compared engine-to-engine. Any change to these numbers
 // means the engine's observable behaviour drifted — deliberate changes must
 // re-record and justify in the commit message.
 struct GoldenRecord {
@@ -123,8 +137,14 @@ struct GoldenRecord {
 
 // clang-format off
 const GoldenRecord kGolden[] = {
-    {"uniform_det_faultfree", 2301, 910, 900, 700,   0, 25.334285714285713, 4.0757142857142892},
-    {"transpose_adp_faulty",  3849, 904, 900, 700, 157, 34.092857142857142, 5.1085714285714285},
+    {"uniform_det_faultfree",   2301, 910, 900, 700,   0, 25.334285714285713, 4.0757142857142892},
+    {"uniform_det_faulty",      3027, 920, 901, 701, 377, 43.37660485021398,  4.8088445078459383},
+    {"uniform_adp_faultfree",   2310, 915, 901, 701,   0, 26.271041369472172, 4.0670470756062773},
+    {"uniform_adp_faulty",      3013, 912, 900, 700, 122, 30.648571428571419, 4.2942857142857145},
+    {"transpose_det_faultfree", 2720, 915, 900, 700,   0, 29.107142857142865, 4.7371428571428567},
+    {"transpose_det_faulty",    3864, 906, 900, 700, 442, 52.297142857142823, 5.654285714285713},
+    {"transpose_adp_faultfree", 2712, 910, 900, 700,   0, 25.731428571428562, 4.742857142857142},
+    {"transpose_adp_faulty",    3849, 904, 900, 700, 157, 34.092857142857142, 5.1085714285714285},
 };
 // clang-format on
 
@@ -146,8 +166,184 @@ TEST(EngineEquivalence, MatchesRecordedReferenceValues) {
   }
 }
 
+// The batched link pass commits winners port-by-port instead of walking
+// (port, vc) pairs one at a time, so its *schedule* — which header crosses
+// which link in which cycle — is the thing most at risk of silent drift.
+// Pin it with literal event vectors on a hand-built contention scenario:
+// messages 0/1 contend for the link (1,0)->(2,0), messages 2/3 for the
+// ejection channel at (2,2). Captured from both engines (identical) when
+// the batched pass landed. A diff here means the arbitration order changed.
+TEST(EngineEquivalence, PinnedHopVectorsUnderContention) {
+  SimConfig cfg;
+  cfg.radix = 4;
+  cfg.dims = 2;
+  cfg.vcs = 2;
+  cfg.injectionRate = 0.0;  // only the four hand-injected messages
+  cfg.warmupMessages = 0;
+  cfg.measuredMessages = 4;
+  cfg.engine = EngineKind::Sparse;
+  TraceRecorder trace;
+  Network net(cfg);
+  net.attachTrace(&trace);
+  const auto at = [&](int x, int y) {
+    Coordinates c;
+    c.digit = {static_cast<std::int16_t>(x), static_cast<std::int16_t>(y)};
+    return net.topology().idOf(c);
+  };
+  net.injectTestMessage(at(0, 0), at(2, 0), 4, RoutingMode::Deterministic);
+  net.injectTestMessage(at(1, 0), at(3, 0), 4, RoutingMode::Deterministic);
+  net.injectTestMessage(at(2, 0), at(2, 2), 4, RoutingMode::Deterministic);
+  net.injectTestMessage(at(2, 3), at(2, 2), 4, RoutingMode::Deterministic);
+  net.run();
+
+  struct PinnedEvent {
+    TraceEvent::Kind kind;
+    std::uint64_t cycle;
+    NodeId node;
+    std::uint8_t port;
+  };
+  using K = TraceEvent::Kind;
+  // clang-format off
+  const std::vector<std::vector<PinnedEvent>> expected = {
+      // seq 0: header stalls at node 1 cycles 2-4 behind seq 1's data flits.
+      {{K::Inject, 0, 0, 0}, {K::Hop, 1, 0, 0}, {K::Hop, 5, 1, 0}, {K::Deliver, 9, 2, 0}},
+      {{K::Inject, 0, 1, 0}, {K::Hop, 1, 1, 0}, {K::Hop, 2, 2, 0}, {K::Deliver, 6, 3, 0}},
+      // seqs 2/3: ejection at node 10 serialises the tails (cycles 8 and 9).
+      {{K::Inject, 0, 2, 0}, {K::Hop, 1, 2, 2}, {K::Hop, 2, 6, 2}, {K::Deliver, 9, 10, 0}},
+      {{K::Inject, 0, 14, 0}, {K::Hop, 1, 14, 3}, {K::Deliver, 8, 10, 0}},
+  };
+  // clang-format on
+  ASSERT_EQ(trace.messageCount(), expected.size());
+  for (std::uint32_t seq = 0; seq < expected.size(); ++seq) {
+    const auto& events = trace.eventsFor(seq);
+    ASSERT_EQ(events.size(), expected[seq].size()) << "seq " << seq;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].kind, expected[seq][i].kind) << "seq " << seq << " event " << i;
+      EXPECT_EQ(events[i].cycle, expected[seq][i].cycle) << "seq " << seq << " event " << i;
+      EXPECT_EQ(events[i].node, expected[seq][i].node) << "seq " << seq << " event " << i;
+      EXPECT_EQ(events[i].port, expected[seq][i].port) << "seq " << seq << " event " << i;
+    }
+  }
+}
+
+// Event-for-event trace agreement on a loaded case: the full per-message
+// (kind, cycle, node, port) streams — not just the end-of-run aggregates —
+// must coincide between the engines. This is the commit-order contract at
+// its finest observable granularity.
+TEST(EngineEquivalence, HopTracesMatchDenseEventForEvent) {
+  SimConfig cfg = caseConfig(kCases[7]);  // transpose_adp_faulty: the busiest
+  cfg.measuredMessages = 300;             // keep the traced volume bounded
+  TraceRecorder dense, sparse;
+  {
+    SimConfig d = cfg;
+    d.engine = EngineKind::Dense;
+    Network net(d);
+    net.attachTrace(&dense);
+    net.run();
+  }
+  {
+    SimConfig s = cfg;
+    s.engine = EngineKind::Sparse;
+    Network net(s);
+    net.attachTrace(&sparse);
+    net.run();
+  }
+  ASSERT_EQ(dense.messageCount(), sparse.messageCount());
+  ASSERT_EQ(dense.eventCount(), sparse.eventCount());
+  ASSERT_GT(dense.eventCount(), 0u);
+  for (const std::uint32_t seq : dense.tracedMessages()) {
+    const auto& d = dense.eventsFor(seq);
+    const auto& s = sparse.eventsFor(seq);
+    ASSERT_EQ(d.size(), s.size()) << "seq " << seq;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      ASSERT_TRUE(d[i].kind == s[i].kind && d[i].cycle == s[i].cycle &&
+                  d[i].node == s[i].node && d[i].port == s[i].port)
+          << "seq " << seq << " event " << i << " diverges (cycle " << d[i].cycle
+          << " vs " << s[i].cycle << ")";
+    }
+  }
+}
+
 // Lockstep: both engines stepped cycle by cycle must agree on every counter
 // at every cycle, and both must keep the microarchitectural invariants.
+// Tally flits per message across every input-VC buffer of `net`, reading
+// whichever storage its engine actually uses (arena for sparse, legacy
+// RouterState for dense). Asserts credit safety along the way: no buffer
+// ever holds more flits than its depth. Credits are implicit (one credit =
+// one free downstream slot), so this is exactly "per-link credits never
+// exceed the buffer depth" — the batched link pass hoists the credit read
+// out of the arbitration loop, and this pins that the hoist can never admit
+// an overfill. For the sparse engine it also checks the arena's credit-sink
+// row (the fake "downstream" the ejection port points at) stays all-zero:
+// ejection must never be throttled by it and nothing may push through it.
+std::unordered_map<MsgId, int> bufferTally(const Network& net, int cycle) {
+  std::unordered_map<MsgId, int> buffered;
+  const NodeId nodes = net.topology().nodeCount();
+  if (net.config().engine == EngineKind::Sparse) {
+    const RouterArena& a = net.arena();
+    for (NodeId id = 0; id < nodes; ++id) {
+      for (int u = 0; u < a.unitsPerRouter(); ++u) {
+        const int g = a.base(id) + u;
+        const int sz = a.size(g);
+        EXPECT_LE(sz, a.depth()) << "overfilled unit " << g << " cycle " << cycle;
+        for (int i = 0; i < sz; ++i) ++buffered[a.flitAt(g, i).msg];
+      }
+    }
+    const std::uint16_t* sink = a.sizeRow(a.creditSinkBase());
+    for (int vc = 0; vc < a.vcs(); ++vc) {
+      EXPECT_EQ(sink[vc], 0) << "credit sink dirtied, vc " << vc << " cycle " << cycle;
+    }
+  } else {
+    for (const RouterState& r : NetworkTestAccess::legacy(net)) {
+      for (int u = 0; u < r.unitCount(); ++u) {
+        const FlitFifo& buf = r.unit(u).buf;
+        EXPECT_LE(buf.size(), buf.capacity())
+            << "overfilled unit " << u << " cycle " << cycle;
+        for (int i = 0; i < buf.size(); ++i) ++buffered[buf.flitAt(i).msg];
+      }
+    }
+  }
+  return buffered;
+}
+
+// Per-cycle flit conservation, checked in lockstep:
+//
+//  1. The two engines' per-message buffer tallies are identical — every
+//     message has exactly the same number of flits resident in each network.
+//  2. Against the dense reference's transport counters (dense increments
+//     Message::flitsEjected unconditionally; the sparse engine only does so
+//     in debug builds), every buffered message balances: flits buffered ==
+//     flits injected in its current network segment (NodeState::nextFlit
+//     while streaming, the full length once the tail left the source) minus
+//     flits ejected in that segment. No flit is lost, duplicated, or left
+//     behind by the batched commit — caught at the cycle it happens, not
+//     hundreds of cycles later in a diverged SimResult.
+void checkConservation(const Network& dense, const Network& sparse, int cycle) {
+  const std::unordered_map<MsgId, int> bufD = bufferTally(dense, cycle);
+  const std::unordered_map<MsgId, int> bufS = bufferTally(sparse, cycle);
+  ASSERT_EQ(bufD.size(), bufS.size()) << "buffered message sets differ, cycle " << cycle;
+  for (const auto& [msg, count] : bufD) {
+    const auto it = bufS.find(msg);
+    ASSERT_TRUE(it != bufS.end()) << "message " << msg << " buffered only in dense, cycle " << cycle;
+    ASSERT_EQ(count, it->second) << "buffered flit count diverges for message " << msg << ", cycle " << cycle;
+  }
+  // Injection progress of the segment each streaming message is on.
+  std::unordered_map<MsgId, int> streamingFlits;
+  for (NodeId id = 0; id < dense.topology().nodeCount(); ++id) {
+    const NodeState& n = dense.node(id);
+    if (n.streaming != kInvalidMsg) streamingFlits[n.streaming] = n.nextFlit;
+  }
+  for (const auto& [msg, count] : bufD) {
+    const Message& m = dense.pool().get(msg);
+    const auto it = streamingFlits.find(msg);
+    const int injected = it != streamingFlits.end() ? it->second : m.length;
+    ASSERT_EQ(count, injected - static_cast<int>(m.flitsEjected))
+        << "flit imbalance for message " << msg << " at cycle " << cycle
+        << " (injected this segment " << injected << ", ejected "
+        << m.flitsEjected << ")";
+  }
+}
+
 TEST(EngineEquivalence, LockstepCountersAndInvariants) {
   SimConfig cfg;
   cfg.radix = 4;
@@ -171,6 +367,7 @@ TEST(EngineEquivalence, LockstepCountersAndInvariants) {
     ASSERT_EQ(dense.generated(), sparse.generated()) << "cycle " << c;
     ASSERT_EQ(dense.delivered(), sparse.delivered()) << "cycle " << c;
     ASSERT_EQ(dense.inFlight(), sparse.inFlight()) << "cycle " << c;
+    ASSERT_NO_FATAL_FAILURE(checkConservation(dense, sparse, c));
     if (c % 25 == 0) {
       ASSERT_EQ(dense.validateInvariants(), "") << "cycle " << c;
       ASSERT_EQ(sparse.validateInvariants(), "") << "cycle " << c;
