@@ -8,15 +8,24 @@
 //
 //   --emit-json=F   the repeatable before/after harness: times the dense
 //                   reference engine against the event-sparse engine on
-//                   three pinned operating points (low load, saturation,
+//                   four pinned operating points (low load, saturation,
 //                   faulty adaptive) and writes machine-readable JSON
-//                   (schema swft-bench-engine-v1, see README.md).
+//                   (schema swft-bench-engine-v1, see README.md). The two
+//                   saturation points additionally run a sparse-mt
+//                   thread-scaling sweep (sim_threads 1/2/4/8) recording
+//                   mtN_cps, the best self-speedup over thread counts the
+//                   machine can actually host, and hardware_concurrency.
 //   --check=REF     additionally compares the sparse-engine cycles/sec of
 //                   this run against a checked-in reference JSON and exits
 //                   non-zero if any point regressed by more than
 //                   --tolerance (default 0.30). Used by the perf-smoke CI
 //                   job to catch order-of-magnitude regressions without
-//                   flaking on runner noise.
+//                   flaking on runner noise. A per-point min_self_speedup
+//                   in the reference gates the sparse-mt scaling; the
+//                   requirement is derated by the runner's core count so
+//                   the gate is runner-speed- and runner-width-insensitive
+//                   (trivially satisfied on a single-core machine, armed on
+//                   multi-core CI).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -27,6 +36,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/sim/config_parse.hpp"
@@ -172,6 +182,7 @@ struct OperatingPoint {
   SimConfig cfg;
   std::uint64_t warmCycles;
   std::uint64_t chunkCycles;  // cycles per timed repetition
+  bool threadScaling = false; // also sweep sparse-mt sim_threads 1/2/4/8
 };
 
 std::vector<OperatingPoint> operatingPoints() {
@@ -202,6 +213,7 @@ std::vector<OperatingPoint> operatingPoints() {
     p.cfg.vcs = 10;
     p.cfg.messageLength = 32;
     p.cfg.injectionRate = 0.015;
+    p.threadScaling = true;
     points.push_back(p);
   }
 
@@ -218,6 +230,7 @@ std::vector<OperatingPoint> operatingPoints() {
     p.cfg.vcs = 4;
     p.cfg.messageLength = 32;
     p.cfg.injectionRate = 0.006;
+    p.threadScaling = true;
     points.push_back(p);
   }
 
@@ -281,12 +294,67 @@ MeasuredPair measureCyclesPerSecond(const OperatingPoint& point, int reps = 7) {
                       sparseSamples[sparseSamples.size() / 2]};
 }
 
+// The sparse-mt thread-scaling axis: the single-domain baseline, two
+// intermediate widths, and the tentpole's 8-thread target.
+constexpr int kMtThreadAxis[] = {1, 2, 4, 8};
+constexpr std::size_t kMtAxisLen = sizeof(kMtThreadAxis) / sizeof(kMtThreadAxis[0]);
+
+/// Thread counts worth crediting on this machine: no point demanding (or
+/// rewarding) an 8-way speedup on a 2-core runner.
+unsigned usableCores() {
+  return std::min(std::max(1u, std::thread::hardware_concurrency()), 8u);
+}
+
+/// Median sparse-mt cycles/sec at each axis thread count. Each count is
+/// measured in its own scope — idle MtEngine workers spin (with yield)
+/// between phases, so two mt networks alive at once would steal cycles from
+/// each other and distort every sample on narrow machines. The
+/// self-speedup gate consumes ratios of numbers taken seconds apart, which
+/// machine-load drift moves together.
+std::vector<double> measureMtScaling(const OperatingPoint& point, int reps = 5) {
+  std::vector<double> cps;
+  cps.reserve(kMtAxisLen);
+  for (const int t : kMtThreadAxis) {
+    SimConfig cfg = point.cfg;
+    cfg.engine = EngineKind::SparseMt;
+    cfg.simThreads = t;
+    Network net(cfg);
+    net.step(point.warmCycles);
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      net.step(point.chunkCycles);
+      const auto t1 = std::chrono::steady_clock::now();
+      samples.push_back(static_cast<double>(point.chunkCycles) /
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    cps.push_back(samples[samples.size() / 2]);
+  }
+  return cps;
+}
+
 struct PointResult {
   std::string name;
   std::string config;
   double denseCps = 0.0;
   double sparseCps = 0.0;
+  std::vector<double> mtCps;  // per kMtThreadAxis entry; empty = no sweep
 };
+
+/// Best sparse-mt self-speedup over the thread counts this machine can host
+/// concurrently (1.0 when only the single-domain run fits).
+double bestSelfSpeedup(const PointResult& r) {
+  if (r.mtCps.size() != kMtAxisLen || r.mtCps[0] <= 0.0) return 0.0;
+  const unsigned usable = usableCores();
+  double best = 1.0;
+  for (std::size_t i = 0; i < kMtAxisLen; ++i) {
+    if (static_cast<unsigned>(kMtThreadAxis[i]) > usable) continue;
+    best = std::max(best, r.mtCps[i] / r.mtCps[0]);
+  }
+  return best;
+}
 
 std::string resultsToJson(const std::vector<PointResult>& results) {
   std::ostringstream os;
@@ -296,7 +364,10 @@ std::string resultsToJson(const std::vector<PointResult>& results) {
   os << "  \"schema\": \"swft-bench-engine-v1\",\n";
   os << "  \"description\": \"cycles/sec of the dense reference engine (the "
         "seed implementation) vs the event-sparse engine, medians of 7 "
-        "interleaved steady-state chunks per point\",\n";
+        "interleaved steady-state chunks per point; saturation points also "
+        "sweep the sparse-mt engine at 1/2/4/8 domain threads (mtN_cps) and "
+        "record the best self-speedup over thread counts this machine's "
+        "hardware_concurrency can host\",\n";
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PointResult& r = results[i];
@@ -305,6 +376,16 @@ std::string resultsToJson(const std::vector<PointResult>& results) {
     os << "      \"config\": \"" << r.config << "\",\n";
     os << "      \"dense_cps\": " << r.denseCps << ",\n";
     os << "      \"sparse_cps\": " << r.sparseCps << ",\n";
+    if (r.mtCps.size() == kMtAxisLen) {
+      for (std::size_t t = 0; t < kMtAxisLen; ++t) {
+        os << "      \"mt" << kMtThreadAxis[t] << "_cps\": " << r.mtCps[t] << ",\n";
+      }
+      os.precision(3);
+      os << "      \"self_speedup\": " << bestSelfSpeedup(r) << ",\n";
+      os.precision(1);
+      os << "      \"hardware_concurrency\": "
+         << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+    }
     os.precision(3);
     os << "      \"speedup\": " << (r.sparseCps / r.denseCps) << "\n";
     os.precision(1);
@@ -351,6 +432,14 @@ bool measureInSubprocess(const std::string& exe, PointResult& r) {
   std::remove(part.c_str());
   r.denseCps = extractPointValue(json, r.name, "dense_cps");
   r.sparseCps = extractPointValue(json, r.name, "sparse_cps");
+  std::vector<double> mt;
+  for (const int t : kMtThreadAxis) {
+    const double v =
+        extractPointValue(json, r.name, "mt" + std::to_string(t) + "_cps");
+    if (v <= 0.0) break;
+    mt.push_back(v);
+  }
+  if (mt.size() == kMtAxisLen) r.mtCps = std::move(mt);
   return r.denseCps > 0.0 && r.sparseCps > 0.0;
 }
 
@@ -375,6 +464,15 @@ int runHarness(const std::string& exe, const std::string& emitPath,
       r.sparseCps = pair.sparseCps;
       std::printf("%-16s dense %12.0f c/s   sparse %12.0f c/s   speedup %.2fx\n",
                   point.name, r.denseCps, r.sparseCps, r.sparseCps / r.denseCps);
+      if (point.threadScaling) {
+        r.mtCps = measureMtScaling(point);
+        std::printf("%-16s sparse-mt", point.name);
+        for (std::size_t t = 0; t < kMtAxisLen; ++t) {
+          std::printf("  T=%d %10.0f c/s", kMtThreadAxis[t], r.mtCps[t]);
+        }
+        std::printf("   self-speedup %.2fx (on %u cores)\n", bestSelfSpeedup(r),
+                    std::max(1u, std::thread::hardware_concurrency()));
+      }
     }
     results.push_back(r);
   }
@@ -435,6 +533,38 @@ int runHarness(const std::string& exe, const std::string& emitPath,
         } else {
           std::printf("%s speedup ok: %.2fx >= %.2fx\n", r.name.c_str(), speedup,
                       minSpeedup);
+        }
+      }
+      // Sparse-mt self-speedup gate: like min_speedup this is a ratio, so
+      // it is insensitive to runner *speed* — but not to runner *width*, so
+      // the reference value (the requirement on a full 8-core machine) is
+      // scaled linearly down to the cores this runner can actually host and
+      // then halved to absorb shared-vCPU jitter. A single-core machine
+      // requires exactly 1.0 (the gate disarms rather than flakes); an
+      // 8-core runner with min_self_speedup 3.0 requires 2.0x.
+      const double minSelf = extractPointValue(ref, r.name, "min_self_speedup");
+      if (minSelf > 0.0) {
+        if (r.mtCps.size() != kMtAxisLen) {
+          std::fprintf(stderr,
+                       "PERF REGRESSION at %s: reference demands sparse-mt "
+                       "scaling but this run has no mtN_cps sweep\n",
+                       r.name.c_str());
+          ++failures;
+        } else {
+          const unsigned usable = usableCores();
+          const double required =
+              1.0 + (minSelf - 1.0) * static_cast<double>(usable - 1) / 7.0 * 0.5;
+          const double best = bestSelfSpeedup(r);
+          if (best < required) {
+            std::fprintf(stderr,
+                         "PERF REGRESSION at %s: sparse-mt self-speedup %.2fx < "
+                         "required %.2fx (reference %.2fx at 8 cores, %u usable)\n",
+                         r.name.c_str(), best, required, minSelf, usable);
+            ++failures;
+          } else {
+            std::printf("%s self-speedup ok: %.2fx >= %.2fx (%u usable cores)\n",
+                        r.name.c_str(), best, required, usable);
+          }
         }
       }
     }

@@ -29,6 +29,9 @@ void printUsage() {
          "  --shard i/N        run only the points whose stable label hash lands in\n"
          "                     residue class i (0-based); outputs are merge-safe\n"
          "  --threads T        sweep thread-pool size (default: hardware concurrency)\n"
+         "  --sim-threads N    run every point on the sparse-mt engine with N domain\n"
+         "                     workers (bit-identical results; the sweep pool is derated\n"
+         "                     so pool x N stays within hardware concurrency)\n"
          "  --format csv|json  artifact format (default csv)\n"
          "  --out DIR          artifact directory (default: $SWFT_RESULTS_DIR or results/)\n"
          "  --quiet            suppress per-point progress lines\n"
@@ -78,6 +81,12 @@ int main(int argc, char** argv) {
         opt.shard = swft::parseShard(needValue(i));
       } else if (std::strcmp(arg, "--threads") == 0) {
         opt.threads = std::stoi(needValue(i));
+      } else if (std::strcmp(arg, "--sim-threads") == 0) {
+        opt.simThreads = std::stoi(needValue(i));
+        if (opt.simThreads < 1) {
+          std::cerr << "error: --sim-threads needs a positive integer\n";
+          return 2;
+        }
       } else if (std::strcmp(arg, "--format") == 0) {
         const std::string fmt = needValue(i);
         if (fmt == "csv") {

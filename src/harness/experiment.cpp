@@ -129,6 +129,12 @@ ExperimentRun runExperiment(const ExperimentSpec& spec, const RunOptions& opt,
   std::vector<SweepPoint> points = spec.build();
   run.totalPoints = points.size();
   points = shardPoints(std::move(points), opt.shard);
+  if (opt.simThreads > 0) {
+    for (SweepPoint& p : points) {
+      p.cfg.engine = EngineKind::SparseMt;
+      p.cfg.simThreads = opt.simThreads;
+    }
+  }
 
   log << "=== " << spec.name << ": " << spec.description << " ===\n";
   if (!opt.shard.isAll()) {

@@ -133,8 +133,15 @@ void applyConfigAssignment(SimConfig& cfg, const std::string& assignment) {
       cfg.engine = EngineKind::Sparse;
     } else if (value == "dense") {
       cfg.engine = EngineKind::Dense;
+    } else if (value == "sparse-mt") {
+      cfg.engine = EngineKind::SparseMt;
     } else {
-      fail("config: engine must be sparse|dense, got '" + value + "'");
+      fail("config: engine must be sparse|dense|sparse-mt, got '" + value + "'");
+    }
+  } else if (key == "sim_threads") {
+    cfg.simThreads = static_cast<int>(parseInt(key, value));
+    if (cfg.simThreads < 1) {
+      fail("config: sim_threads must be >= 1, got '" + value + "'");
     }
   } else if (key == "region") {
     cfg.faults.regions.push_back(parseRegion(cfg, value));

@@ -22,6 +22,7 @@
 #include <bit>
 #include <cassert>
 
+#include "src/sim/engine_mt.hpp"
 #include "src/sim/network.hpp"
 
 #ifdef SWFT_PHASE_TIMERS
@@ -76,6 +77,8 @@ namespace swft {
 void Network::advanceCycle() {
   if (cfg_.engine == EngineKind::Dense) {
     advanceCycleDense();
+  } else if (cfg_.engine == EngineKind::SparseMt) {
+    mt_->advanceCycle();
   } else {
     advanceCycleSparse();
   }
@@ -243,6 +246,12 @@ bool Network::stepInjection(NodeId id) {
                                : FlitKind::Body;
   arena_.push(id, unitIdx, f, cycle_);
   lastMovementCycle_ = cycle_;
+  // Headers stream only into empty units (the VC chooser above requires
+  // emptiness), so idx == 0 is exactly "a new head appeared" — what the
+  // sparse-mt walk needs to fold into its precomputed candidate cards.
+  if (injFoldSink_ != nullptr && idx == 0) {
+    injFoldSink_->emplace_back(id, static_cast<std::int32_t>(unitIdx));
+  }
   if (trace_ != nullptr && idx == 0) {
     const Message& m = pool_.get(node.streaming);
     trace_->record({m.absorptions > 0 ? TraceEvent::Kind::Reinject
@@ -259,30 +268,35 @@ bool Network::stepInjection(NodeId id) {
 }
 
 void Network::routeHeader(NodeId id, int unitIdx) {
-  const int g = arena_.base(id) + unitIdx;
-  Message& msg = pool_.get(arena_.front(g).msg);
+  const MsgId msgId = arena_.front(arena_.base(id) + unitIdx).msg;
+  applyRouteDecision(id, unitIdx, msgId, computeRoute(pool_.get(msgId), id));
+}
 
-  RouteDecision decision;
-  if (msg.curTarget == id) {
-    decision = RouteDecision::deliver();
-  } else if (msg.mode == RoutingMode::Adaptive) {
-    decision = duato_.route(msg, id, faults_, part_);
-  } else {
-    decision = ecube_.route(msg, id, faults_, part_);
-  }
+RouteDecision Network::computeRoute(const Message& msg, NodeId id) const {
+  // Pure: routing functions take the message and network state by const
+  // reference and draw no RNG, which is what lets the sparse-mt engine
+  // precompute decisions in its parallel phase (DESIGN.md §6).
+  if (msg.curTarget == id) return RouteDecision::deliver();
+  if (msg.mode == RoutingMode::Adaptive) return duato_.route(msg, id, faults_, part_);
+  return ecube_.route(msg, id, faults_, part_);
+}
 
+void Network::applyRouteDecision(NodeId id, int unitIdx, MsgId msgId,
+                                 const RouteDecision& decision) {
   switch (decision.kind) {
     case RouteDecision::Kind::Deliver:
       arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0);
       return;
-    case RouteDecision::Kind::Absorb:
+    case RouteDecision::Kind::Absorb: {
       // The required outgoing channel leads to a fault: eject here and hand
       // the message to the messaging layer (assumption (i)).
+      Message& msg = pool_.get(msgId);
       msg.blockedValid = true;
       msg.blockedDim = decision.blockedDim;
       msg.blockedDirStep = decision.blockedDirStep;
       arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0);
       return;
+    }
     case RouteDecision::Kind::Forward:
       break;
   }

@@ -1,0 +1,535 @@
+// The sparse-mt cycle: parallel route precomputation (P1), the ordered
+// serial baton (P2), parallel per-domain command apply (P3). See
+// engine_mt.hpp and DESIGN.md §6 for the phase contract and the equivalence
+// argument; the baton's router step mirrors Network::stepRouter
+// (engine.cpp) with pops/pushes deferred and credit checks virtualised.
+#include "src/sim/engine_mt.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "src/sim/network.hpp"
+
+#ifdef SWFT_PHASE_TIMERS
+#include <array>
+#include <chrono>
+#include <cstdio>
+namespace {
+// Per-phase, per-thread accumulation for the barrier-phased engine: row =
+// thread slot (the domain index; the main thread is slot 0), column = phase.
+// Workers only ever write their own row, so no synchronisation is needed
+// beyond the engine's own barriers.
+struct MtPhaseTimers {
+  static constexpr int kMaxThreads = 64;
+  enum Phase { kCards = 0, kGen, kInj, kWalk, kCommit, kBarrier, kPhases };
+  std::array<std::array<double, kPhases>, kMaxThreads> acc{};
+  int threads = 1;
+  ~MtPhaseTimers() {
+    if (acc[0][kCards] + acc[0][kWalk] + acc[0][kCommit] == 0.0) return;
+    for (int t = 0; t < threads && t < kMaxThreads; ++t) {
+      std::fprintf(stderr,
+                   "mt phase timers[%d]: cards %.3fs gen %.3fs inj %.3fs "
+                   "walk %.3fs commit %.3fs barrier %.3fs\n",
+                   t, acc[t][kCards], acc[t][kGen], acc[t][kInj], acc[t][kWalk],
+                   acc[t][kCommit], acc[t][kBarrier]);
+    }
+  }
+} g_mtpt;
+inline double mtNowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+#define SWFT_MT_MARK(var) const double mt_##var = mtNowSec()
+#define SWFT_MT_ADD(slot, phase, a, b) \
+  g_mtpt.acc[(slot) & 63][MtPhaseTimers::phase] += mt_##b - mt_##a
+#else
+#define SWFT_MT_MARK(var)
+#define SWFT_MT_ADD(slot, phase, a, b)
+#endif
+
+namespace swft {
+
+namespace {
+
+// Spin with a yield fallback: on machines with fewer cores than domains
+// (including the single-core CI runner) the yield lets the scheduler run
+// whichever thread holds the next phase.
+inline void spinPause(int& spins) {
+  if (++spins > 64) std::this_thread::yield();
+}
+
+}  // namespace
+
+MtEngine::MtEngine(Network& net, int simThreads)
+    : net_(net),
+      domains_(mtEffectiveDomains(net.arena_.nodes(), simThreads)) {
+  const int nodes = net_.arena_.nodes();
+  domStart_.resize(static_cast<std::size_t>(domains_) + 1);
+  for (int d = 0; d <= domains_; ++d) domStart_[d] = mtDomainStart(nodes, domains_, d);
+  domainOf_.resize(static_cast<std::size_t>(nodes));
+  for (int d = 0; d < domains_; ++d) {
+    for (NodeId id = domStart_[d]; id < domStart_[d + 1]; ++id) {
+      domainOf_[id] = static_cast<std::uint16_t>(d);
+    }
+  }
+  cards_.resize(static_cast<std::size_t>(domains_));
+  pops_.resize(static_cast<std::size_t>(domains_));
+  pushes_.resize(static_cast<std::size_t>(domains_));
+  cardHead_.resize(static_cast<std::size_t>(nodes), 0);
+  cardCount_.resize(static_cast<std::size_t>(nodes), 0);
+  cardCycle_.resize(static_cast<std::size_t>(nodes), 0);
+  sizeDelta_.resize(
+      static_cast<std::size_t>(net_.arena_.creditSinkBase() + net_.arena_.vcs()), 0);
+  foldHead_.resize(static_cast<std::size_t>(nodes), -1);
+#ifdef SWFT_PHASE_TIMERS
+  g_mtpt.threads = domains_;
+#endif
+  workers_.reserve(static_cast<std::size_t>(domains_ - 1));
+  for (int d = 1; d < domains_; ++d) {
+    workers_.emplace_back([this, d] { workerLoop(d); });
+  }
+}
+
+MtEngine::~MtEngine() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+}
+
+void MtEngine::workerLoop(int d) {
+  std::uint64_t next = 1;
+  for (;;) {
+    SWFT_MT_MARK(w0);
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) < next) spinPause(spins);
+    SWFT_MT_MARK(w1);
+    SWFT_MT_ADD(d, kBarrier, w0, w1);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if ((next & 1) != 0) {
+      buildCards(d);
+      SWFT_MT_MARK(w2);
+      SWFT_MT_ADD(d, kCards, w1, w2);
+    } else {
+      applyCommands(d);
+      SWFT_MT_MARK(w3);
+      SWFT_MT_ADD(d, kCommit, w1, w3);
+    }
+    arrived_.fetch_add(1, std::memory_order_release);
+    ++next;
+  }
+}
+
+void MtEngine::launchPhase() { epoch_.fetch_add(1, std::memory_order_release); }
+
+void MtEngine::awaitWorkers() {
+  const int expected = static_cast<int>(workers_.size());
+  int spins = 0;
+  while (arrived_.load(std::memory_order_acquire) != expected) spinPause(spins);
+  arrived_.store(0, std::memory_order_relaxed);
+}
+
+void MtEngine::advanceCycle() {
+  for (auto& q : pops_) q.clear();
+  for (auto& q : pushes_) q.clear();
+
+  if (workers_.empty()) {
+    SWFT_MT_MARK(s0);
+    buildCards(0);
+    SWFT_MT_MARK(s1);
+    SWFT_MT_ADD(0, kCards, s0, s1);
+    baton();
+    SWFT_MT_MARK(s2);
+    for (const auto& q : pops_)
+      for (const PopCmd& c : q) sizeDelta_[c.unit] = 0;
+    for (const auto& q : pushes_)
+      for (const PushCmd& c : q) sizeDelta_[c.unit] = 0;
+    applyCommands(0);
+    SWFT_MT_MARK(s3);
+    SWFT_MT_ADD(0, kCommit, s2, s3);
+    return;
+  }
+
+  SWFT_MT_MARK(t0);
+  launchPhase();  // P1
+  buildCards(0);
+  SWFT_MT_MARK(t1);
+  SWFT_MT_ADD(0, kCards, t0, t1);
+  awaitWorkers();
+  SWFT_MT_MARK(t2);
+  SWFT_MT_ADD(0, kBarrier, t1, t2);
+
+  baton();  // P2
+
+  SWFT_MT_MARK(t3);
+  launchPhase();  // P3
+  // Reset the deltas while the workers commit: P3 never reads them, and the
+  // command lists are read-only on both sides. Double-zeroing a unit that
+  // was both popped and pushed is harmless.
+  for (const auto& q : pops_)
+    for (const PopCmd& c : q) sizeDelta_[c.unit] = 0;
+  for (const auto& q : pushes_)
+    for (const PushCmd& c : q) sizeDelta_[c.unit] = 0;
+  applyCommands(0);
+  SWFT_MT_MARK(t4);
+  SWFT_MT_ADD(0, kCommit, t3, t4);
+  awaitWorkers();
+  SWFT_MT_MARK(t5);
+  SWFT_MT_ADD(0, kBarrier, t4, t5);
+}
+
+void MtEngine::buildCards(int d) {
+  Network& n = net_;
+  const RouterArena& a = n.arena_;
+  std::vector<PaCand>& cand = cards_[d];
+  cand.clear();
+  const std::uint64_t cycle = n.cycle_;
+  const auto td = static_cast<std::uint64_t>(n.cfg_.routerDecisionTime);
+  const NodeId lo = domStart_[d];
+  const NodeId hi = domStart_[d + 1];
+  const std::vector<std::uint64_t>& active = a.activeWords();
+  const int occW = a.occWordsPerRouter();
+
+  const std::size_t wLo = static_cast<std::size_t>(lo) >> 6;
+  const std::size_t wHi = (static_cast<std::size_t>(hi) + 63) >> 6;
+  for (std::size_t w = wLo; w < wHi; ++w) {
+    std::uint64_t bits = active[w];
+    if (w == wLo && (lo & 63) != 0) bits &= ~0ULL << (lo & 63);
+    if (w == wHi - 1 && (hi & 63) != 0) bits &= (1ULL << (hi & 63)) - 1;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto id = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      const int routerBase = a.base(id);
+      const std::uint64_t* occ = a.occWords(id);
+      const std::uint64_t* routedW = a.routedWords(id);
+      const std::size_t begin = cand.size();
+      for (int ow = 0; ow < occW; ++ow) {
+        std::uint64_t units = occ[ow] & ~routedW[ow];
+        while (units != 0) {
+          const int unitIdx = ow * 64 + std::countr_zero(units);
+          units &= units - 1;
+          const int g = routerBase + unitIdx;
+          const Flit& front = a.front(g);
+          if (!front.isHeader()) continue;
+          if (td != 0 && a.frontArrival(g) + td > cycle) continue;
+          cand.push_back({static_cast<std::int32_t>(g), front.msg,
+                          n.computeRoute(n.pool_.get(front.msg), id)});
+        }
+      }
+      if (cand.size() != begin) {
+        cardHead_[id] = static_cast<std::int32_t>(begin);
+        cardCount_[id] = static_cast<std::uint16_t>(cand.size() - begin);
+        cardCycle_[id] = cycle + 1;
+      }
+    }
+  }
+}
+
+void MtEngine::baton() {
+  Network& n = net_;
+  const std::uint64_t cycle = n.cycle_;
+
+  SWFT_MT_MARK(b0);
+  // Generation: identical to the sparse engine (calendar order is ascending
+  // node id, the dense position of every generation-side draw).
+  for (NodeId id : n.calendar_.takeDue(cycle)) {
+    n.stepGeneration(id);
+    const std::uint64_t next = n.nodes_[id].nextGenCycle;
+    if (next != ~std::uint64_t{0}) n.calendar_.schedule(id, next);
+  }
+  SWFT_MT_MARK(b1);
+  SWFT_MT_ADD(0, kGen, b0, b1);
+
+  // Injection: identical to the sparse engine, with the fold-in sink
+  // attached so freshly injected headers reach the router walk below.
+  // Injection pushes stay eager — injection units are never the downstream
+  // end of a network link, so no deferred push can race them.
+  injFolds_.clear();
+  n.injFoldSink_ = &injFolds_;
+  for (std::size_t w = 0; w < n.nodeWork_.size(); ++w) {
+    std::uint64_t bits = n.nodeWork_[w];
+    while (bits) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto id = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      if (n.stepInjection(id)) n.nodeWork_[w] &= ~(1ULL << b);
+    }
+  }
+  n.injFoldSink_ = nullptr;
+  SWFT_MT_MARK(b2);
+  SWFT_MT_ADD(0, kInj, b1, b2);
+
+  // The walk's active view: the arena bitmap after injection, extended
+  // mid-walk as deferred pushes activate empty routers (addFoldIn).
+  const std::vector<std::uint64_t>& active = n.arena_.activeWords();
+  batonActive_.assign(active.begin(), active.end());
+  for (const auto& [id, unit] : injFolds_) {
+    addFoldIn(id, unit, n.arena_.front(unit).msg);
+  }
+
+  // Router walk in the alternating sweep direction, re-reading the current
+  // word after every step so routers activated mid-walk are visited if and
+  // only if they lie later in sweep order — exactly the dense rule.
+  const bool forward = (cycle & 1) == 0;
+  if (forward) {
+    for (std::size_t w = 0; w < batonActive_.size(); ++w) {
+      std::uint64_t bits = batonActive_[w];
+      while (bits) {
+        const int b = std::countr_zero(bits);
+        stepRouterMt(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits = (b == 63) ? 0 : (batonActive_[w] & (~0ULL << (b + 1)));
+      }
+    }
+  } else {
+    for (std::size_t w = batonActive_.size(); w-- > 0;) {
+      std::uint64_t bits = batonActive_[w];
+      while (bits) {
+        const int b = 63 - std::countl_zero(bits);
+        stepRouterMt(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        bits = batonActive_[w] & ((1ULL << b) - 1);
+      }
+    }
+  }
+
+  // Reset the per-router fold lists (O(touched)).
+  for (NodeId id : foldTouched_) foldHead_[id] = -1;
+  foldTouched_.clear();
+  folds_.clear();
+  SWFT_MT_MARK(b3);
+  SWFT_MT_ADD(0, kWalk, b2, b3);
+}
+
+void MtEngine::applyCommands(int d) {
+  RouterArena& a = net_.arena_;
+  const std::uint64_t cycle = net_.cycle_;
+  // All pops before all pushes: a winner's pop may be what frees the slot a
+  // same-cycle push into the same unit needs (the virtual size already
+  // proved the combined result fits).
+  for (const PopCmd& c : pops_[d]) (void)a.popMt(c.node, c.unit, cycle);
+  for (const PushCmd& c : pushes_[d]) a.pushMt(c.node, c.unit, c.flit, cycle);
+}
+
+bool MtEngine::creditAvailable(std::int32_t downUnit) const noexcept {
+  return net_.arena_.size(downUnit) + sizeDelta_[downUnit] != net_.arena_.depth();
+}
+
+void MtEngine::addFoldIn(NodeId node, std::int32_t unit, MsgId msg) {
+  if (foldHead_[node] < 0) foldTouched_.push_back(node);
+  folds_.push_back({unit, msg, foldHead_[node]});
+  foldHead_[node] = static_cast<std::int32_t>(folds_.size()) - 1;
+  batonActive_[static_cast<std::size_t>(node) >> 6] |= 1ULL << (node & 63);
+}
+
+void MtEngine::deferPush(NodeId node, std::int32_t unit, Flit f) {
+  // A header landing in a *virtually* empty unit becomes the unit's front:
+  // fold it into the downstream router's candidate set (body/tail flits
+  // never route, and a non-empty unit's front is unchanged by the push).
+  if (f.isHeader() &&
+      net_.arena_.size(unit) + sizeDelta_[unit] == 0) {
+    addFoldIn(node, unit, f.msg);
+  }
+  pushes_[domainOf_[node]].push_back({node, unit, f});
+  ++sizeDelta_[unit];
+}
+
+void MtEngine::stepRouterMt(NodeId id) {
+  Network& n = net_;
+  RouterArena& a = n.arena_;
+  const std::uint64_t cycle = n.cycle_;
+  const int localPort = n.networkPorts_;
+  const auto td = static_cast<std::uint64_t>(n.cfg_.routerDecisionTime);
+  const int routerBase = a.base(id);
+  const int occW = a.occWordsPerRouter();
+  const std::uint64_t* occ = a.occWords(id);
+  const std::uint64_t* routedW = a.routedWords(id);
+
+  // Phase A: the precomputed card span merged with this cycle's fold-ins,
+  // ascending by unit — exactly the dense occupied-unrouted-header scan.
+  // Card units are untouched since P1 (pops happen only at the owning
+  // router's turn, which is now), so applying the stored decision here is
+  // the dense computation moved earlier, not a stale one.
+  {
+    constexpr int kMaxFolds = 2 * kMaxDims + 2;  // one per input port + injection
+    struct FoldRef {
+      std::int32_t unit;
+      MsgId msg;
+    };
+    FoldRef foldArr[kMaxFolds];
+    int nf = 0;
+    for (std::int32_t i = foldHead_[id]; i >= 0; i = folds_[i].next) {
+      assert(nf < kMaxFolds);
+      foldArr[nf++] = {folds_[i].unit, folds_[i].msg};
+    }
+    for (int i = 1; i < nf; ++i) {  // intrusive list is LIFO; restore ascending
+      const FoldRef key = foldArr[i];
+      int j = i - 1;
+      for (; j >= 0 && foldArr[j].unit > key.unit; --j) foldArr[j + 1] = foldArr[j];
+      foldArr[j + 1] = key;
+    }
+    const PaCand* c = nullptr;
+    const PaCand* cEnd = nullptr;
+    if (cardCycle_[id] == cycle + 1) {
+      const std::vector<PaCand>& vec = cards_[domainOf_[id]];
+      c = vec.data() + cardHead_[id];
+      cEnd = c + cardCount_[id];
+    }
+    int fi = 0;
+    while (c != cEnd || fi != nf) {
+      if (fi != nf && (c == cEnd || foldArr[fi].unit < c->unit)) {
+        const FoldRef f = foldArr[fi++];
+        // Fold-in fronts arrived this very cycle: with Td > 0 they are not
+        // yet eligible (the dense engine skips them the same way).
+        if (td != 0) continue;
+        n.applyRouteDecision(id, f.unit - routerBase, f.msg,
+                             n.computeRoute(n.pool_.get(f.msg), id));
+      } else {
+        n.applyRouteDecision(id, c->unit - routerBase, c->msg, c->dec);
+        ++c;
+      }
+    }
+  }
+
+  // Phase B: the batched link pass, mirroring Network::stepRouter with two
+  // differences: downstream credit reads virtual sizes (arena + pending
+  // delta), and winner pops/pushes are deferred to P3. Candidate-side state
+  // (occupancy, routed masks, front arrivals) is read live from the arena —
+  // correct because this router's units cannot have been popped before its
+  // own turn, and deferred pushes never create a same-cycle candidate (their
+  // arrival stamp equals the current cycle, failing qualification exactly as
+  // it would in the dense engine).
+  const std::uint32_t* rw = a.routeRow(routerBase);
+  const std::uint64_t* faRow = a.frontArrivalRow(routerBase);
+
+  if (occW == 1) {
+    const std::uint64_t live = occ[0] & routedW[0];
+    std::uint64_t okp[64];
+    for (int p = 0; p <= localPort; ++p) okp[p] = 0;
+    std::uint64_t pm = 0;
+    std::uint64_t m = live;
+    while (m != 0) {
+      const int u = std::countr_zero(m);
+      m &= m - 1;
+      const std::uint32_t r = rw[u];
+      const int port = RouterArena::wordOutPort(r);
+      const std::int32_t du = n.cachedDownBase(id, port) + RouterArena::wordOutVc(r);
+      const auto q = static_cast<std::uint64_t>(
+          (faRow[u] < cycle) & creditAvailable(du));
+      okp[port] |= q << u;
+      pm |= q << port;
+    }
+    const int unitCount = a.unitsPerRouter();
+    while (pm != 0) {
+      const int port = std::countr_zero(pm);
+      pm &= pm - 1;
+      const int cur = a.cursor(id, port);
+      const std::uint64_t rot = std::rotr(okp[port], cur);
+      const int winnerIdx = (cur + std::countr_zero(rot)) & 63;
+      if (port == localPort) {
+        a.setCursor(id, port,
+                    static_cast<std::uint16_t>(
+                        winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+        ejectFlitMt(id, winnerIdx);
+      } else {
+        commitLinkMt(id, port, winnerIdx);
+      }
+    }
+    return;
+  }
+
+  // Generic multi-word path (> 64 input units per router).
+  const int unitCount = a.unitsPerRouter();
+  for (int port = 0; port <= localPort; ++port) {
+    const std::uint64_t* req = a.requestWords(id, port);
+    const std::int32_t downBase = n.cachedDownBase(id, port);
+    const int cur = a.cursor(id, port);
+    const int cw = cur >> 6;
+    const int cb = cur & 63;
+    int winnerIdx = -1;
+    for (int k = 0; k <= occW && winnerIdx < 0; ++k) {
+      int w = cw + k;
+      if (w >= occW) w -= occW;
+      std::uint64_t m = req[w] & occ[w];
+      if (k == 0) {
+        m &= ~0ULL << cb;
+      } else if (k == occW) {
+        m &= (cb == 0) ? 0 : ((1ULL << cb) - 1);
+      }
+      while (m != 0) {
+        const int u = w * 64 + std::countr_zero(m);
+        m &= m - 1;
+        if (faRow[u] >= cycle) continue;  // front arrived this cycle
+        if (!creditAvailable(downBase + RouterArena::wordOutVc(rw[u]))) continue;
+        winnerIdx = u;
+        break;
+      }
+    }
+    if (winnerIdx < 0) continue;
+    if (port == localPort) {
+      a.setCursor(id, port,
+                  static_cast<std::uint16_t>(
+                      winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+      ejectFlitMt(id, winnerIdx);
+    } else {
+      commitLinkMt(id, port, winnerIdx);
+    }
+  }
+}
+
+void MtEngine::commitLinkMt(NodeId id, int port, int winnerIdx) {
+  Network& n = net_;
+  RouterArena& a = n.arena_;
+  const int unitCount = a.unitsPerRouter();
+  a.setCursor(id, port,
+              static_cast<std::uint16_t>(
+                  winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+  const int g = a.base(id) + winnerIdx;
+  const int outVc = a.outVc(g);
+  const Flit flit = a.front(g);
+  pops_[domainOf_[id]].push_back({id, static_cast<std::int32_t>(g)});
+  --sizeDelta_[g];
+  n.lastMovementCycle_ = n.cycle_;
+  if (winnerIdx >= n.networkPorts_ * n.cfg_.vcs) n.markNodeWork(id);
+
+  if (flit.isHeader()) {
+    Message& msg = n.pool_.get(flit.msg);
+    ++msg.hops;
+    if (n.cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
+    if (n.trace_ != nullptr) {
+      n.trace_->record({TraceEvent::Kind::Hop, n.cycle_, id,
+                        static_cast<std::uint8_t>(port), msg.seq});
+    }
+  }
+  deferPush(n.cachedNeighbor(id, port),
+            n.cachedDownBase(id, port) + outVc, flit);
+
+  if (flit.isTail()) {
+    a.releaseRoute(id, winnerIdx);
+    a.setOutOwner(id, port, outVc, -1);
+  }
+}
+
+void MtEngine::ejectFlitMt(NodeId id, int unitIdx) {
+  Network& n = net_;
+  RouterArena& a = n.arena_;
+  const int g = a.base(id) + unitIdx;
+  const Flit flit = a.front(g);
+  pops_[domainOf_[id]].push_back({id, static_cast<std::int32_t>(g)});
+  --sizeDelta_[g];
+  n.lastMovementCycle_ = n.cycle_;
+  if (unitIdx >= n.networkPorts_ * n.cfg_.vcs) n.markNodeWork(id);
+
+#ifndef NDEBUG
+  ++n.pool_.get(flit.msg).flitsEjected;
+#endif
+  if (flit.isTail()) {
+    a.releaseRoute(id, unitIdx);
+    // finalizeEjected runs eagerly on the baton: delivery statistics (the
+    // order-sensitive double accumulations) and the software layer's
+    // replanning RNG draw happen at the exact dense-sweep position.
+    n.finalizeEjected(id, flit.msg);
+  }
+}
+
+}  // namespace swft

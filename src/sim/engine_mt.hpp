@@ -1,0 +1,151 @@
+// Domain-decomposed multithreaded sparse engine (EngineKind::SparseMt).
+//
+// The torus is partitioned into `simThreads` contiguous node-id domains, one
+// persistent worker per domain, and every cycle runs three barrier-separated
+// phases (DESIGN.md §6):
+//
+//   P1 (parallel)  — per-domain route *precomputation*: for every occupied,
+//                    unrouted header front visible at the start of the cycle,
+//                    the pure routing function runs and the decision is
+//                    stored on a per-router "card". No RNG, no mutation.
+//   P2 (ordered)   — the serial "baton": generation, injection, and the
+//                    router walk in the exact dense-sweep order. Every RNG
+//                    consumer (injection VC rotation, VC allocation,
+//                    software replanning) draws at its dense position. Link
+//                    winners are chosen against *virtual* buffer sizes
+//                    (arena size + pending delta) and their pops/pushes are
+//                    recorded as per-domain commands instead of applied.
+//   P3 (parallel)  — per-domain command apply: each domain pops then pushes
+//                    its own routers' units. The only state shared across a
+//                    domain boundary is the packed network-level active
+//                    bitmap, updated via std::atomic_ref (RouterArena
+//                    pushMt/popMt).
+//
+// The phase split never changes *which* decision is made or *when* a draw
+// happens — only where the work runs — so SimResults are bit-identical to
+// the dense and sparse engines at every thread count (enforced by
+// tests/test_engine_equivalence.cpp, test_engine_mt.cpp and the fuzz
+// harness).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/router/flit.hpp"
+#include "src/routing/types.hpp"
+#include "src/topology/coordinates.hpp"
+
+namespace swft {
+
+class Network;
+
+/// First node of domain `d` when `nodes` routers are split across `domains`
+/// contiguous node-id ranges, balanced to within one node. Domain d covers
+/// [mtDomainStart(nodes, domains, d), mtDomainStart(nodes, domains, d + 1)).
+[[nodiscard]] constexpr NodeId mtDomainStart(int nodes, int domains, int d) noexcept {
+  return static_cast<NodeId>(static_cast<std::int64_t>(nodes) * d / domains);
+}
+
+/// Effective domain count for a requested `sim_threads` on `nodes` routers:
+/// at least one, at most one per router (every domain must be non-empty).
+[[nodiscard]] constexpr int mtEffectiveDomains(int nodes, int simThreads) noexcept {
+  return simThreads < 1 ? 1 : (simThreads > nodes ? nodes : simThreads);
+}
+
+class MtEngine {
+ public:
+  MtEngine(Network& net, int simThreads);
+  ~MtEngine();
+  MtEngine(const MtEngine&) = delete;
+  MtEngine& operator=(const MtEngine&) = delete;
+
+  /// One simulation cycle (called from Network::advanceCycle, which owns the
+  /// cycle counter increment and the deadlock watchdog).
+  void advanceCycle();
+
+  [[nodiscard]] int domains() const noexcept { return domains_; }
+
+ private:
+  // A precomputed route decision for one occupied, unrouted header front.
+  struct PaCand {
+    std::int32_t unit;  // global arena unit index
+    MsgId msg;
+    RouteDecision dec;
+  };
+  // Deferred arena mutations, queued by the baton, applied in P3 by the
+  // domain owning `node` (all pops of a domain apply before its pushes).
+  struct PopCmd {
+    NodeId node;
+    std::int32_t unit;
+  };
+  struct PushCmd {
+    NodeId node;
+    std::int32_t unit;
+    Flit flit;
+  };
+  // A header that logically became a unit's front *during* the baton (fresh
+  // injection, or a deferred cross-router push into an empty unit): the
+  // dense sweep would route it when it reaches the router, so the walk
+  // merges these into the router's card span, ascending by unit.
+  struct FoldIn {
+    std::int32_t unit;
+    MsgId msg;
+    std::int32_t next;  // intrusive per-router list (foldHead_)
+  };
+
+  void workerLoop(int d);
+  void launchPhase();
+  void awaitWorkers();
+
+  void buildCards(int d);    // P1 for one domain
+  void baton();              // P2, main thread only
+  void applyCommands(int d); // P3 for one domain
+
+  void stepRouterMt(NodeId id);
+  void commitLinkMt(NodeId id, int port, int winnerIdx);
+  void ejectFlitMt(NodeId id, int unitIdx);
+  void deferPush(NodeId node, std::int32_t unit, Flit f);
+  void addFoldIn(NodeId node, std::int32_t unit, MsgId msg);
+  [[nodiscard]] bool creditAvailable(std::int32_t downUnit) const noexcept;
+
+  Network& net_;
+  int domains_;
+  std::vector<NodeId> domStart_;          // domains_ + 1 fenceposts
+  std::vector<std::uint16_t> domainOf_;   // node -> owning domain
+
+  // P1 output: per-domain card vectors plus per-router spans into them.
+  // cardCycle_ holds cycle + 1 when the span is valid, so nothing needs
+  // clearing between cycles.
+  std::vector<std::vector<PaCand>> cards_;
+  std::vector<std::int32_t> cardHead_;
+  std::vector<std::uint16_t> cardCount_;
+  std::vector<std::uint64_t> cardCycle_;
+
+  // Baton output: per-domain command queues and the per-unit size delta the
+  // virtual credit checks read (pending pushes minus pending pops).
+  std::vector<std::vector<PopCmd>> pops_;
+  std::vector<std::vector<PushCmd>> pushes_;
+  std::vector<std::int16_t> sizeDelta_;
+
+  // The baton's view of the router active set: the arena bitmap copied
+  // after injection, with bits OR-ed in as deferred pushes activate empty
+  // routers mid-walk (matching the dense visit-iff-later-in-sweep rule).
+  std::vector<std::uint64_t> batonActive_;
+  std::vector<FoldIn> folds_;
+  std::vector<std::int32_t> foldHead_;   // node -> first fold index, -1 none
+  std::vector<NodeId> foldTouched_;      // for O(touched) reset
+  std::vector<std::pair<NodeId, std::int32_t>> injFolds_;
+
+  // Barrier state: `epoch_` counts launched phases (odd = P1, even = P3);
+  // workers spin (with yield) until it advances, run their slice, and bump
+  // `arrived_`. T == 1 runs everything inline with no workers.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace swft

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/sim/engine_mt.hpp"
+
 namespace swft {
 
 namespace {
@@ -93,7 +95,13 @@ Network::Network(const SimConfig& cfg)
     windowOpen_ = true;
     windowStartCycle_ = 0;
   }
+  if (cfg.engine == EngineKind::SparseMt) {
+    // Last: the engine captures the fully-built network (caches, arena).
+    mt_ = std::make_unique<MtEngine>(*this, cfg.simThreads);
+  }
 }
+
+Network::~Network() = default;  // here: ~MtEngine needs the complete type
 
 MsgId Network::injectTestMessage(NodeId src, NodeId dest, int length, RoutingMode mode) {
   if (faults_.nodeFaulty(src) || faults_.nodeFaulty(dest)) {

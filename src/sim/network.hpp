@@ -11,12 +11,18 @@
 //                                all-nodes sweep) as the reference
 //                                implementation and the "before" side of
 //                                bench/kernel_microbench's perf baseline.
+//   SparseMt (engine_mt.cpp)   — the sparse engine domain-decomposed across
+//                                `cfg.simThreads` worker threads with a
+//                                barrier-phased cycle (DESIGN.md §6).
 //
-// The two must produce bit-identical SimResults for identical configs;
-// tests/test_engine_equivalence.cpp enforces it.
+// All engines must produce bit-identical SimResults for identical configs —
+// SparseMt at every thread count; tests/test_engine_equivalence.cpp,
+// test_engine_mt.cpp and test_engine_fuzz.cpp enforce it.
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/fault/connectivity.hpp"
 #include "src/router/message_pool.hpp"
@@ -34,9 +40,16 @@
 
 namespace swft {
 
+class MtEngine;
+
 class Network {
  public:
   explicit Network(const SimConfig& cfg);
+  // Out of line: ~MtEngine (joining the worker threads) needs the complete
+  // type, which this header only forward-declares.
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Run the full experiment: warm-up, measurement, stop conditions.
   SimResult run();
@@ -78,6 +91,7 @@ class Network {
 
  private:
   friend struct NetworkTestAccess;  // white-box unit tests
+  friend class MtEngine;            // the sparse-mt engine (engine_mt.cpp)
 
   // One simulation cycle: injection, route computation + VC allocation,
   // switch allocation + link traversal, ejection.
@@ -123,6 +137,13 @@ class Network {
   }
 
   void routeHeader(NodeId id, int unitIdx);
+  // routeHeader split for the sparse-mt engine: the pure route computation
+  // (safe to precompute in a parallel phase) and the mutating part (route
+  // allocation + the VC-allocation RNG draw, which must run at the router's
+  // dense-sweep position). routeHeader == applyRouteDecision(computeRoute).
+  [[nodiscard]] RouteDecision computeRoute(const Message& msg, NodeId id) const;
+  void applyRouteDecision(NodeId id, int unitIdx, MsgId msgId,
+                          const RouteDecision& decision);
   [[gnu::always_inline]] void ejectFlit(NodeId id, int unitIdx);
   void finalizeEjected(NodeId id, MsgId msgId);
   void scheduleReinjection(NodeId id, MsgId msgId);
@@ -180,6 +201,11 @@ class Network {
 
   TraceRecorder* trace_ = nullptr;
 
+  // When non-null (sparse-mt's ordered phase), stepInjection reports every
+  // header pushed into an empty injection unit here so the mt router walk
+  // can fold the new head into its precomputed route-candidate cards.
+  std::vector<std::pair<NodeId, std::int32_t>>* injFoldSink_ = nullptr;
+
   // --- engine counters ------------------------------------------------------
   std::uint64_t cycle_ = 0;
   std::uint64_t lastMovementCycle_ = 0;
@@ -195,6 +221,11 @@ class Network {
   RunningStat hops_;
   bool deadlockSuspected_ = false;
   std::size_t healthyNodeCount_ = 0;
+
+  // Built only for EngineKind::SparseMt. Declared last: members destroy in
+  // reverse order, so the worker threads join before any state they touch
+  // (arena, pool, nodes) is torn down.
+  std::unique_ptr<MtEngine> mt_;
 };
 
 /// Convenience wrapper: build the network from `cfg` and run to completion.

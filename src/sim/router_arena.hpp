@@ -19,6 +19,7 @@
 // the active bit consistent so the engine cannot desynchronise them.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -102,18 +103,7 @@ class RouterArena {
   /// Push/pop take the owning router id so the occupancy transition needs
   /// no division; callers always know it (asserted in debug builds).
   void push(NodeId node, int u, Flit f, std::uint64_t arrivalCycle) noexcept {
-    assert(u >= base(node) && u < base(node) + unitsPerRouter_);
-    const int s = slot(u, (head_[u] + size_[u]) & strideMask_);
-    flit_[s] = f;
-    if (exactArrivals_) {
-      arrival_[s] = arrivalCycle;
-    } else {
-      lastPush_[u] = arrivalCycle;
-    }
-    if (size_[u]++ == 0) {
-      frontArrival_[u] = arrivalCycle;
-      markOccupied(node, u);
-    }
+    pushImpl<false>(node, u, f, arrivalCycle);
   }
 
   /// `now` is the popping cycle; in the inexact-arrival mode it feeds the
@@ -121,22 +111,21 @@ class RouterArena {
   /// Engine callers must pass the current cycle; tests running in the exact
   /// mode may omit it.
   Flit pop(NodeId node, int u, std::uint64_t now = 0) noexcept {
-    assert(u >= base(node) && u < base(node) + unitsPerRouter_);
-    const Flit f = flit_[slot(u, head_[u])];
-    head_[u] = static_cast<std::uint16_t>((head_[u] + 1) & strideMask_);
-    if (--size_[u] == 0) {
-      markEmpty(node, u);
-      return f;
-    }
-    if (exactArrivals_) {
-      frontArrival_[u] = arrival_[slot(u, head_[u])];
-    } else if (size_[u] == 1) {
-      frontArrival_[u] = lastPush_[u];  // the survivor is the latest push
-    } else {
-      assert(now > 0 && "inexact pop needs the popping cycle");
-      frontArrival_[u] = now - 1;  // arrived strictly before now; see ctor
-    }
-    return f;
+    return popImpl<false>(node, u, now);
+  }
+
+  /// Variants safe for the sparse-mt engine's parallel commit phase. A
+  /// domain owns its routers' units outright — flit rings, sizes, occupancy
+  /// words and counts are all router-local — but the network-level active_
+  /// bitmap packs 64 routers per word, so two domains meeting inside one
+  /// word may RMW it concurrently. These make exactly that one transition
+  /// atomic (relaxed: the barrier after the commit phase publishes); all
+  /// other state is written plainly, as in push/pop.
+  void pushMt(NodeId node, int u, Flit f, std::uint64_t arrivalCycle) noexcept {
+    pushImpl<true>(node, u, f, arrivalCycle);
+  }
+  Flit popMt(NodeId node, int u, std::uint64_t now = 0) noexcept {
+    return popImpl<true>(node, u, now);
   }
 
   // --- per-unit routing state -----------------------------------------------
@@ -263,20 +252,68 @@ class RouterArena {
            static_cast<std::size_t>(localUnit >> 6);
   }
 
+  template <bool kAtomicActive>
+  void pushImpl(NodeId node, int u, Flit f, std::uint64_t arrivalCycle) noexcept {
+    assert(u >= base(node) && u < base(node) + unitsPerRouter_);
+    const int s = slot(u, (head_[u] + size_[u]) & strideMask_);
+    flit_[s] = f;
+    if (exactArrivals_) {
+      arrival_[s] = arrivalCycle;
+    } else {
+      lastPush_[u] = arrivalCycle;
+    }
+    if (size_[u]++ == 0) {
+      frontArrival_[u] = arrivalCycle;
+      markOccupied<kAtomicActive>(node, u);
+    }
+  }
+
+  template <bool kAtomicActive>
+  Flit popImpl(NodeId node, int u, std::uint64_t now) noexcept {
+    assert(u >= base(node) && u < base(node) + unitsPerRouter_);
+    const Flit f = flit_[slot(u, head_[u])];
+    head_[u] = static_cast<std::uint16_t>((head_[u] + 1) & strideMask_);
+    if (--size_[u] == 0) {
+      markEmpty<kAtomicActive>(node, u);
+      return f;
+    }
+    if (exactArrivals_) {
+      frontArrival_[u] = arrival_[slot(u, head_[u])];
+    } else if (size_[u] == 1) {
+      frontArrival_[u] = lastPush_[u];  // the survivor is the latest push
+    } else {
+      assert(now > 0 && "inexact pop needs the popping cycle");
+      frontArrival_[u] = now - 1;  // arrived strictly before now; see ctor
+    }
+    return f;
+  }
+
+  template <bool kAtomicActive>
   void markOccupied(NodeId node, int u) noexcept {
     const int local = u - base(node);
     occ_[static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
          static_cast<std::size_t>(local >> 6)] |= (1ULL << (local & 63));
     if (occCount_[node]++ == 0) {
-      active_[static_cast<std::size_t>(node) >> 6] |= (1ULL << (node & 63));
+      if constexpr (kAtomicActive) {
+        std::atomic_ref<std::uint64_t>(active_[static_cast<std::size_t>(node) >> 6])
+            .fetch_or(1ULL << (node & 63), std::memory_order_relaxed);
+      } else {
+        active_[static_cast<std::size_t>(node) >> 6] |= (1ULL << (node & 63));
+      }
     }
   }
+  template <bool kAtomicActive>
   void markEmpty(NodeId node, int u) noexcept {
     const int local = u - base(node);
     occ_[static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
          static_cast<std::size_t>(local >> 6)] &= ~(1ULL << (local & 63));
     if (--occCount_[node] == 0) {
-      active_[static_cast<std::size_t>(node) >> 6] &= ~(1ULL << (node & 63));
+      if constexpr (kAtomicActive) {
+        std::atomic_ref<std::uint64_t>(active_[static_cast<std::size_t>(node) >> 6])
+            .fetch_and(~(1ULL << (node & 63)), std::memory_order_relaxed);
+      } else {
+        active_[static_cast<std::size_t>(node) >> 6] &= ~(1ULL << (node & 63));
+      }
     }
   }
 

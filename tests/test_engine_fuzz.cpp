@@ -5,9 +5,10 @@
 // representative corners; this suite draws a few hundred random points from
 // the full configuration space (topology size and dimensionality, VC counts,
 // buffer depths, routing mode, every traffic pattern, fault counts, router
-// decision time, message lengths, injection rates) and runs each under both
-// engines to completion, requiring bit-identical SimResults — exact double
-// equality, no tolerance.
+// decision time, message lengths, injection rates) and runs each under all
+// three engines to completion — dense, sparse, and sparse-mt with a
+// sim_threads axis cycling {1, 2, 3, 8} — requiring bit-identical
+// SimResults: exact double equality, no tolerance.
 //
 // On a mismatch the failing point is printed as a ready-to-paste
 // `swft_sim`-style key=value string (the config_parse.hpp grammar) so a
@@ -159,14 +160,23 @@ TEST(EngineFuzz, SparseMatchesDenseOnRandomConfigs) {
         "repro: " + reproString(cfg) + "  (fuzz index " + std::to_string(i) +
         ", SWFT_FUZZ_SEED=" + std::to_string(baseSeed) + ")";
 
+    // sim_threads axis for the sparse-mt run: rotate through single-domain,
+    // small odd/even splits, and a count that often exceeds small tori (the
+    // engine clamps to one domain per node).
+    constexpr int kThreadAxis[] = {1, 2, 3, 8};
+    const int simThreads = kThreadAxis[i % (sizeof(kThreadAxis) / sizeof(kThreadAxis[0]))];
+
     cfg.engine = EngineKind::Dense;
     SimResult dense;
     try {
       dense = runSimulation(cfg);
     } catch (const std::runtime_error&) {
       // Random faults occasionally disconnect a small torus; the sparse
-      // build must reject the identical pattern the same way.
+      // builds must reject the identical pattern the same way.
       cfg.engine = EngineKind::Sparse;
+      EXPECT_THROW((void)runSimulation(cfg), std::runtime_error) << repro;
+      cfg.engine = EngineKind::SparseMt;
+      cfg.simThreads = simThreads;
       EXPECT_THROW((void)runSimulation(cfg), std::runtime_error) << repro;
       ++skippedDisconnected;
       continue;
@@ -174,6 +184,12 @@ TEST(EngineFuzz, SparseMatchesDenseOnRandomConfigs) {
     cfg.engine = EngineKind::Sparse;
     const SimResult sparse = runSimulation(cfg);
     expectIdentical(sparse, dense, repro);
+    cfg.engine = EngineKind::SparseMt;
+    cfg.simThreads = simThreads;
+    const SimResult mt = runSimulation(cfg);
+    expectIdentical(mt, dense,
+                    repro + " engine=sparse-mt sim_threads=" +
+                        std::to_string(simThreads));
     ++ran;
     totalDelivered += dense.deliveredMeasured;
     if (dense.completed) ++completedRuns;
