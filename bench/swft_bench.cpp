@@ -24,7 +24,8 @@ namespace {
 void printUsage() {
   std::cout
       << "usage: swft_bench --list\n"
-         "       swft_bench --run <name|all> [--run <name>...] [options]\n"
+         "       swft_bench --run <name[,name...]|all> [--run <name>...] [options]\n"
+         "       swft_bench --cache-stats [--cache-dir DIR]\n"
          "options:\n"
          "  --shard i/N        run only the points whose stable label hash lands in\n"
          "                     residue class i (0-based); outputs are merge-safe\n"
@@ -34,6 +35,13 @@ void printUsage() {
          "                     so pool x N stays within hardware concurrency)\n"
          "  --format csv|json  artifact format (default csv)\n"
          "  --out DIR          artifact directory (default: $SWFT_RESULTS_DIR or results/)\n"
+         "  --cache            consult the content-addressed result cache (default on):\n"
+         "                     cached points short-circuit, misses simulate and store\n"
+         "  --no-cache         simulate every point, touch no cache state\n"
+         "  --cache-dir DIR    cache store directory (default: $SWFT_CACHE_DIR or\n"
+         "                     <results>/cache); implies --cache\n"
+         "  --cache-stats      print aggregate hit/miss/insert counts and the on-disk\n"
+         "                     store size after the runs (usable without --run)\n"
          "  --quiet            suppress per-point progress lines\n"
          "environment:\n"
          "  SWFT_SCALE=paper   full paper-scale runs (default: reduced, ~1/10 cost)\n";
@@ -57,10 +65,25 @@ void printList() {
 
 }  // namespace
 
+/// Split a comma-separated --run value ("fig3,fig4,fig7") into names; empty
+/// segments (",," or trailing commas) are rejected by the registry lookup
+/// below, which already handles unknown names.
+void appendNames(std::vector<std::string>& names, const std::string& value) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    names.push_back(value.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
 int main(int argc, char** argv) {
   bool list = false;
+  bool cacheStats = false;
   std::vector<std::string> names;
   swft::RunOptions opt;
+  opt.useCache = true;  // the production default: re-runs pay only for misses
 
   auto needValue = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -76,7 +99,7 @@ int main(int argc, char** argv) {
       if (std::strcmp(arg, "--list") == 0) {
         list = true;
       } else if (std::strcmp(arg, "--run") == 0) {
-        names.emplace_back(needValue(i));
+        appendNames(names, needValue(i));
       } else if (std::strcmp(arg, "--shard") == 0) {
         opt.shard = swft::parseShard(needValue(i));
       } else if (std::strcmp(arg, "--threads") == 0) {
@@ -99,6 +122,15 @@ int main(int argc, char** argv) {
         }
       } else if (std::strcmp(arg, "--out") == 0) {
         opt.outDir = needValue(i);
+      } else if (std::strcmp(arg, "--cache") == 0) {
+        opt.useCache = true;
+      } else if (std::strcmp(arg, "--no-cache") == 0) {
+        opt.useCache = false;
+      } else if (std::strcmp(arg, "--cache-dir") == 0) {
+        opt.cacheDir = needValue(i);
+        opt.useCache = true;
+      } else if (std::strcmp(arg, "--cache-stats") == 0) {
+        cacheStats = true;
       } else if (std::strcmp(arg, "--quiet") == 0) {
         opt.progress = false;
       } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
@@ -117,6 +149,14 @@ int main(int argc, char** argv) {
 
   if (list) {
     printList();
+    return 0;
+  }
+  if (names.empty() && cacheStats) {
+    // Inspect-only mode: report the store without running anything.
+    const std::string dir = opt.cacheDir.empty() ? swft::defaultCacheDir() : opt.cacheDir;
+    const auto info = swft::ResultCache::scanDir(dir);
+    std::cout << "cache stats: hits=0 misses=0 inserts=0 entries=" << info.entries
+              << " bytes=" << info.bytes << " dir=" << dir << "\n";
     return 0;
   }
   if (names.empty()) {
@@ -145,9 +185,17 @@ int main(int argc, char** argv) {
   }
 
   int failures = 0;
+  swft::CacheStats totals;
+  std::string cacheDirUsed;
   for (const auto* spec : toRun) {
     try {
       const swft::ExperimentRun run = swft::runExperiment(*spec, opt, std::cout);
+      if (run.cacheUsed) {
+        totals.hits += run.cache.hits;
+        totals.misses += run.cache.misses;
+        totals.inserts += run.cache.inserts;
+        cacheDirUsed = run.cacheDir;
+      }
       for (const swft::SweepRow& row : run.rows) {
         if (row.result.deadlockSuspected) {
           std::cerr << "warning: deadlock watchdog fired at " << spec->name << "/"
@@ -160,6 +208,16 @@ int main(int argc, char** argv) {
       std::cerr << "error: experiment '" << spec->name << "' failed: " << e.what() << "\n";
       ++failures;
     }
+  }
+  if (cacheStats) {
+    const std::string dir = !cacheDirUsed.empty()
+                                ? cacheDirUsed
+                                : (opt.cacheDir.empty() ? swft::defaultCacheDir()
+                                                        : opt.cacheDir);
+    const auto info = swft::ResultCache::scanDir(dir);
+    std::cout << "cache stats: hits=" << totals.hits << " misses=" << totals.misses
+              << " inserts=" << totals.inserts << " entries=" << info.entries
+              << " bytes=" << info.bytes << " dir=" << dir << "\n";
   }
   return failures == 0 ? 0 : 1;
 }

@@ -3,12 +3,15 @@
 #include <charconv>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <numeric>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "src/harness/table.hpp"
 #include "src/sim/config_parse.hpp"
+#include "src/util/fnv.hpp"
 
 namespace swft {
 
@@ -55,12 +58,7 @@ ShardSpec parseShard(const std::string& text) {
 }
 
 std::uint64_t stableLabelHash(std::string_view label) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
-  for (const char c : label) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;  // FNV prime
-  }
-  return h;
+  return fnv1a64(label);
 }
 
 bool inShard(std::string_view label, const ShardSpec& shard) noexcept {
@@ -136,32 +134,82 @@ ExperimentRun runExperiment(const ExperimentSpec& spec, const RunOptions& opt,
     }
   }
 
+  // Resolve and create the artifact directory (and the cache store) before
+  // any point simulates: a bad --out/--cache-dir must fail in milliseconds,
+  // not after the grid already burned its simulation time.
+  std::string dir;
+  if (opt.writeArtifact) {
+    dir = opt.outDir.empty() ? resultsDir() : opt.outDir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!std::filesystem::is_directory(dir)) {
+      throw std::runtime_error("cannot create artifact directory '" + dir +
+                               "': " + ec.message());
+    }
+  }
+  std::unique_ptr<ResultCache> cache;
+  if (opt.useCache) {
+    cache = std::make_unique<ResultCache>(opt.cacheDir.empty() ? defaultCacheDir()
+                                                               : opt.cacheDir);
+  }
+
   log << "=== " << spec.name << ": " << spec.description << " ===\n";
   if (!opt.shard.isAll()) {
     log << "shard " << opt.shard.index << "/" << opt.shard.count << ": " << points.size()
         << " of " << run.totalPoints << " points\n";
   }
 
-  const std::size_t shardSize = points.size();
-  std::size_t done = 0;
-  run.rows = runSweep(std::move(points), opt.threads, [&](const SweepRow& row) {
-    ++done;
-    if (opt.progress) {
-      log << "  [" << done << "/" << shardSize << "] " << spec.name << "/"
-          << row.point.label << "\n";
+  // Cache pass: hit rows short-circuit the pool entirely; only misses are
+  // submitted to runSweep. Rows stay in grid order in both paths, so the
+  // artifact bytes cannot depend on where a row came from.
+  std::vector<SweepRow> rows(points.size());
+  std::vector<std::size_t> missIdx;
+  if (cache) {
+    missIdx.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (std::optional<SimResult> hit = cache->lookup(points[i].cfg)) {
+        rows[i].point = points[i];
+        rows[i].result = *hit;
+      } else {
+        missIdx.push_back(i);
+      }
     }
-  });
+  } else {
+    missIdx.resize(points.size());
+    std::iota(missIdx.begin(), missIdx.end(), std::size_t{0});
+  }
+  std::vector<SweepPoint> missPoints;
+  missPoints.reserve(missIdx.size());
+  for (const std::size_t i : missIdx) missPoints.push_back(points[i]);
+
+  const std::size_t missCount = missPoints.size();
+  std::size_t done = 0;
+  std::vector<SweepRow> missRows =
+      runSweep(std::move(missPoints), opt.threads, [&](const SweepRow& row) {
+        // onDone is serialised by the pool, so storing here is race-free
+        // within this process; cross-process safety is the store's rename.
+        if (cache) cache->store(row.point.cfg, row.result);
+        ++done;
+        if (opt.progress) {
+          log << "  [" << done << "/" << missCount << "] " << spec.name << "/"
+              << row.point.label << "\n";
+        }
+      });
+  for (std::size_t j = 0; j < missIdx.size(); ++j) rows[missIdx[j]] = std::move(missRows[j]);
+  run.rows = std::move(rows);
+
+  if (cache) {
+    run.cacheUsed = true;
+    run.cache = cache->stats();
+    run.cacheDir = cache->dir();
+    log << "cache: " << run.cache.hits << " hits, " << run.cache.misses
+        << " misses, " << run.cache.inserts << " inserts (" << run.cacheDir << ")\n";
+  }
 
   log << formatTable(run.rows, spec.columns);
   if (spec.epilogue) log << spec.epilogue(run.rows);
 
   if (opt.writeArtifact) {
-    std::string dir = resultsDir();  // creates the default directory
-    if (!opt.outDir.empty()) {
-      dir = opt.outDir;
-      std::error_code ec;
-      std::filesystem::create_directories(dir, ec);  // open() reports failure
-    }
     run.artifactPath = dir + "/" + artifactName(spec, opt);
     if (opt.format == OutputFormat::Json) {
       std::ofstream out(run.artifactPath, std::ios::binary);

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/harness/result_cache.hpp"
 #include "src/harness/sweep.hpp"
 
 namespace swft {
@@ -66,12 +67,22 @@ struct RunOptions {
   std::string outDir;  // empty: resultsDir()
   bool writeArtifact = true;
   bool progress = true;  // per-point progress lines on `log`
+  // Consult the content-addressed result cache before simulating: points
+  // whose canonical config key is already stored short-circuit to the cached
+  // SimResult (bit-identical to re-simulation by the engine-equivalence
+  // guarantee), misses simulate through the pool and are stored. Artifacts
+  // are byte-identical either way.
+  bool useCache = false;
+  std::string cacheDir;  // empty: defaultCacheDir()
 };
 
 struct ExperimentRun {
   std::vector<SweepRow> rows;
   std::size_t totalPoints = 0;  // grid size before sharding
   std::string artifactPath;     // empty when writeArtifact was false
+  bool cacheUsed = false;       // RunOptions::useCache was honoured
+  CacheStats cache;             // hit/miss/insert counts (cacheUsed only)
+  std::string cacheDir;         // resolved store directory (cacheUsed only)
 };
 
 /// Rows serialised as a JSON array of objects: the CSV columns plus a

@@ -1,0 +1,27 @@
+// FNV-1a 64-bit hashing. One implementation shared by the experiment
+// sharder and the result cache: both promise that the same bytes hash to
+// the same value on every machine, compiler and standard library (which
+// std::hash does not), so the function lives here rather than in either
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace swft {
+
+inline constexpr std::uint64_t kFnv1a64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnv1a64Prime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view bytes,
+                                              std::uint64_t seed =
+                                                  kFnv1a64OffsetBasis) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1a64Prime;
+  }
+  return h;
+}
+
+}  // namespace swft

@@ -44,4 +44,31 @@ if(rc2 EQUAL 0)
   message(FATAL_ERROR "--run with an unknown name should exit non-zero")
 endif()
 
+# Comma-separated --run lists are split into individual names: a bogus name
+# buried in the list must be rejected by name, before anything runs.
+execute_process(
+  COMMAND ${SWFT_BENCH} --run fig3,bogus_name,fig4
+  RESULT_VARIABLE rc3
+  OUTPUT_QUIET
+  ERROR_VARIABLE err3)
+if(rc3 EQUAL 0)
+  message(FATAL_ERROR "--run with a bogus name in a comma list should exit non-zero")
+endif()
+if(NOT err3 MATCHES "unknown experiment 'bogus_name'")
+  message(FATAL_ERROR "comma list not split into names:\n${err3}")
+endif()
+
+# --cache-stats without --run inspects the store (empty here) and exits 0.
+execute_process(
+  COMMAND ${SWFT_BENCH} --cache-stats --cache-dir ${CMAKE_CURRENT_BINARY_DIR}/smoke_cache_stats
+  RESULT_VARIABLE rc4
+  OUTPUT_VARIABLE out4
+  ERROR_QUIET)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "--cache-stats alone should exit 0, got ${rc4}")
+endif()
+if(NOT out4 MATCHES "cache stats: hits=0 misses=0 inserts=0 entries=0")
+  message(FATAL_ERROR "unexpected --cache-stats output:\n${out4}")
+endif()
+
 message(STATUS "swft_bench smoke OK (${count} experiments)")

@@ -236,6 +236,141 @@ TEST(RunExperiment, JsonArtifactMirrorsRows) {
   EXPECT_EQ(rowsToJson(run.rows), json);
 }
 
+TEST(RunExperiment, OutDirWithMissingNestedDirectoriesIsCreatedUpFront) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           "swft_experiment_test" / "missing" / "a" / "b")
+                              .string();
+  std::filesystem::remove_all(dir);
+  ASSERT_FALSE(std::filesystem::exists(dir));
+
+  RunOptions opt;
+  opt.outDir = dir;
+  opt.threads = 1;
+  opt.progress = false;
+  std::ostringstream log;
+  const ExperimentRun run = runExperiment(tinySpec("tiny_mkdir"), opt, log);
+  EXPECT_TRUE(std::filesystem::exists(run.artifactPath));
+}
+
+TEST(RunExperiment, UnwritableOutDirFailsBeforeSimulating) {
+  const std::string parent =
+      (std::filesystem::temp_directory_path() / "swft_experiment_test").string();
+  std::filesystem::create_directories(parent);
+  const std::string blocked = parent + "/outdir_is_a_file";
+  { std::ofstream out(blocked); }
+
+  RunOptions opt;
+  opt.outDir = blocked;
+  opt.threads = 1;
+  std::ostringstream log;
+  EXPECT_THROW((void)runExperiment(tinySpec("tiny_badout"), opt, log),
+               std::runtime_error);
+  // The failure must precede the sweep: no progress line was ever printed.
+  EXPECT_EQ(log.str().find("tiny_badout/"), std::string::npos);
+}
+
+// ---- the content-addressed result cache ----------------------------------
+
+TEST(RunExperiment, WarmCacheRerunIsAllHitsWithByteIdenticalArtifact) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "swft_experiment_cache").string();
+  std::filesystem::remove_all(base);
+  const ExperimentSpec spec = tinySpec("tiny_cache");
+
+  RunOptions opt;
+  opt.outDir = base + "/out";
+  opt.useCache = true;
+  opt.cacheDir = base + "/cache";
+  opt.threads = 2;
+  opt.progress = false;
+  std::ostringstream log;
+
+  const ExperimentRun cold = runExperiment(spec, opt, log);
+  ASSERT_TRUE(cold.cacheUsed);
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_EQ(cold.cache.misses, 6u);
+  EXPECT_EQ(cold.cache.inserts, 6u);
+  const std::string coldBytes = slurp(cold.artifactPath);
+  ASSERT_FALSE(coldBytes.empty());
+
+  // Warm re-run: zero simulations (hits == grid size), identical bytes.
+  const ExperimentRun warm = runExperiment(spec, opt, log);
+  EXPECT_EQ(warm.cache.hits, 6u);
+  EXPECT_EQ(warm.cache.misses, 0u);
+  EXPECT_EQ(warm.cache.inserts, 0u);
+  EXPECT_EQ(slurp(warm.artifactPath), coldBytes);
+
+  // Cache hits must interchange across bit-identical engines: a sparse-mt
+  // re-run of the same grid is still all hits.
+  RunOptions mt = opt;
+  mt.simThreads = 2;
+  const ExperimentRun warmMt = runExperiment(spec, mt, log);
+  EXPECT_EQ(warmMt.cache.hits, 6u);
+  EXPECT_EQ(warmMt.cache.misses, 0u);
+  EXPECT_EQ(slurp(warmMt.artifactPath), coldBytes);
+
+  // Corrupting one entry downgrades exactly that point to a miss; the run
+  // re-simulates it, re-stores it, and the artifact is unchanged.
+  std::size_t corrupted = 0;
+  for (const auto& e : std::filesystem::directory_iterator(opt.cacheDir)) {
+    if (e.path().extension() != ".result") continue;
+    std::ofstream out(e.path(), std::ios::binary | std::ios::trunc);
+    out << "garbage";
+    ++corrupted;
+    break;
+  }
+  ASSERT_EQ(corrupted, 1u);
+  const ExperimentRun healed = runExperiment(spec, opt, log);
+  EXPECT_EQ(healed.cache.hits, 5u);
+  EXPECT_EQ(healed.cache.misses, 1u);
+  EXPECT_EQ(healed.cache.inserts, 1u);
+  EXPECT_EQ(slurp(healed.artifactPath), coldBytes);
+  const ExperimentRun afterHeal = runExperiment(spec, opt, log);
+  EXPECT_EQ(afterHeal.cache.hits, 6u);
+}
+
+TEST(RunExperiment, ShardedRunsFillTheCacheForTheUnshardedRun) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "swft_experiment_cache_shard").string();
+  std::filesystem::remove_all(base);
+  const ExperimentSpec spec = tinySpec("tiny_cache_shard");
+
+  RunOptions opt;
+  opt.outDir = base + "/out";
+  opt.useCache = true;
+  opt.cacheDir = base + "/cache";
+  opt.threads = 1;
+  opt.progress = false;
+  std::ostringstream log;
+
+  // Fan the grid out across 3 "processes" against one store…
+  for (int i = 0; i < 3; ++i) {
+    RunOptions sharded = opt;
+    sharded.shard = ShardSpec{i, 3};
+    (void)runExperiment(spec, sharded, log);
+  }
+  // …then the merged unsharded re-run pays for nothing.
+  const ExperimentRun merged = runExperiment(spec, opt, log);
+  EXPECT_EQ(merged.cache.hits, 6u);
+  EXPECT_EQ(merged.cache.misses, 0u);
+}
+
+TEST(RunExperiment, CacheOffByDefaultAndTouchesNothing) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "swft_experiment_nocache").string();
+  std::filesystem::remove_all(base);
+  RunOptions opt;
+  opt.outDir = base + "/out";
+  opt.cacheDir = base + "/cache";  // ignored: useCache defaults to false
+  opt.threads = 1;
+  opt.progress = false;
+  std::ostringstream log;
+  const ExperimentRun run = runExperiment(tinySpec("tiny_no_store"), opt, log);
+  EXPECT_FALSE(run.cacheUsed);
+  EXPECT_FALSE(std::filesystem::exists(opt.cacheDir));
+  EXPECT_EQ(log.str().find("cache:"), std::string::npos);
+}
+
 TEST(RunExperiment, ArtifactNames) {
   const ExperimentSpec spec = tinySpec("fig_x");
   RunOptions opt;
