@@ -140,7 +140,7 @@ BENCHMARK(BM_EngineSaturated)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 void BM_LinkBatch(benchmark::State& state) {
   // The batched link pass in isolation-by-dominance: a knee-loaded 8-ary
   // 2-cube at the production router shape (V=4, depth 4). Warmed to steady
-  // state, ~90% of per-cycle time is the router phase (SWFT_PHASE_TIMERS),
+  // state, ~90% of per-cycle time is the router phase (per `phase_timers=1`),
   // so this kernel tracks the single-pass switch arbitration + traversal
   // commit rather than generation or injection.
   SimConfig cfg;
@@ -331,19 +331,33 @@ unsigned usableCores() {
   return std::min(std::max(1u, std::thread::hardware_concurrency()), 8u);
 }
 
+struct MtScaling {
+  std::vector<double> cps;      // median cycles/sec per kMtThreadAxis entry
+  std::vector<double> parFrac;  // measured parallel fraction per entry
+};
+
 /// Median sparse-mt cycles/sec at each axis thread count. Each count is
 /// measured in its own scope — idle MtEngine workers spin (with yield)
 /// between phases, so two mt networks alive at once would steal cycles from
 /// each other and distort every sample on narrow machines. The
 /// self-speedup gate consumes ratios of numbers taken seconds apart, which
 /// machine-load drift moves together.
-std::vector<double> measureMtScaling(const OperatingPoint& point, int reps = 5) {
-  std::vector<double> cps;
-  cps.reserve(kMtAxisLen);
+///
+/// Each run also measures its *parallel fraction* from the engine's phase
+/// shards: 1 - serial / work, where serial is the baton thread's P2 time
+/// (gen + inj + walk) and work is every thread's phase time excluding
+/// barrier waits. This is the Amdahl input that explains the mtN_cps curve
+/// — the PhaseClock overhead (a few steady_clock reads per cycle per
+/// thread) is far below the run-to-run noise floor.
+MtScaling measureMtScaling(const OperatingPoint& point, int reps = 5) {
+  MtScaling out;
+  out.cps.reserve(kMtAxisLen);
+  out.parFrac.reserve(kMtAxisLen);
   for (const int t : kMtThreadAxis) {
     SimConfig cfg = point.cfg;
     cfg.engine = EngineKind::SparseMt;
     cfg.simThreads = t;
+    cfg.phaseTimers = true;
     Network net(cfg);
     net.step(point.warmCycles);
     std::vector<double> samples;
@@ -356,9 +370,16 @@ std::vector<double> measureMtScaling(const OperatingPoint& point, int reps = 5) 
                         std::chrono::duration<double>(t1 - t0).count());
     }
     std::sort(samples.begin(), samples.end());
-    cps.push_back(samples[samples.size() / 2]);
+    out.cps.push_back(samples[samples.size() / 2]);
+    const std::vector<PhaseBreakdown>& shards = net.phaseShards();
+    double serial = shards.empty() ? 0.0 : shards[0].serial();
+    double work = 0.0;
+    for (const PhaseBreakdown& s : shards) {
+      work += s.total() - s.sec[PhaseBreakdown::kBarrier];
+    }
+    out.parFrac.push_back(work > 0.0 ? 1.0 - serial / work : 0.0);
   }
-  return cps;
+  return out;
 }
 
 struct PointResult {
@@ -366,7 +387,8 @@ struct PointResult {
   std::string config;
   double denseCps = 0.0;
   double sparseCps = 0.0;
-  std::vector<double> mtCps;  // per kMtThreadAxis entry; empty = no sweep
+  std::vector<double> mtCps;      // per kMtThreadAxis entry; empty = no sweep
+  std::vector<double> mtParFrac;  // measured parallel fraction per entry
   // The result-cache point (name "result_cache") carries per-operation
   // nanoseconds instead of engine cycles/sec.
   double cacheKeyNs = 0.0;    // canonical key derivation + FNV hash
@@ -441,8 +463,10 @@ std::string resultsToJson(const std::vector<PointResult>& results) {
   os << "  \"description\": \"cycles/sec of the dense reference engine (the "
         "seed implementation) vs the event-sparse engine, medians of 7 "
         "interleaved steady-state chunks per point; saturation points also "
-        "sweep the sparse-mt engine at 1/2/4/8 domain threads (mtN_cps) and "
-        "record the best self-speedup over thread counts this machine's "
+        "sweep the sparse-mt engine at 1/2/4/8 domain threads (mtN_cps), "
+        "each run's measured parallel fraction from the engine phase timers "
+        "(mtN_parallel_fraction = 1 - serial baton time / total phase work), "
+        "and record the best self-speedup over thread counts this machine's "
         "hardware_concurrency can host\",\n";
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -463,6 +487,14 @@ std::string resultsToJson(const std::vector<PointResult>& results) {
     if (r.mtCps.size() == kMtAxisLen) {
       for (std::size_t t = 0; t < kMtAxisLen; ++t) {
         os << "      \"mt" << kMtThreadAxis[t] << "_cps\": " << r.mtCps[t] << ",\n";
+      }
+      if (r.mtParFrac.size() == kMtAxisLen) {
+        os.precision(3);
+        for (std::size_t t = 0; t < kMtAxisLen; ++t) {
+          os << "      \"mt" << kMtThreadAxis[t]
+             << "_parallel_fraction\": " << r.mtParFrac[t] << ",\n";
+        }
+        os.precision(1);
       }
       os.precision(3);
       os << "      \"self_speedup\": " << bestSelfSpeedup(r) << ",\n";
@@ -517,13 +549,19 @@ bool measureInSubprocess(const std::string& exe, PointResult& r) {
   r.denseCps = extractPointValue(json, r.name, "dense_cps");
   r.sparseCps = extractPointValue(json, r.name, "sparse_cps");
   std::vector<double> mt;
+  std::vector<double> frac;
   for (const int t : kMtThreadAxis) {
     const double v =
         extractPointValue(json, r.name, "mt" + std::to_string(t) + "_cps");
     if (v <= 0.0) break;
     mt.push_back(v);
+    frac.push_back(extractPointValue(
+        json, r.name, "mt" + std::to_string(t) + "_parallel_fraction"));
   }
-  if (mt.size() == kMtAxisLen) r.mtCps = std::move(mt);
+  if (mt.size() == kMtAxisLen) {
+    r.mtCps = std::move(mt);
+    r.mtParFrac = std::move(frac);
+  }
   return r.denseCps > 0.0 && r.sparseCps > 0.0;
 }
 
@@ -549,10 +587,13 @@ int runHarness(const std::string& exe, const std::string& emitPath,
       std::printf("%-16s dense %12.0f c/s   sparse %12.0f c/s   speedup %.2fx\n",
                   point.name, r.denseCps, r.sparseCps, r.sparseCps / r.denseCps);
       if (point.threadScaling) {
-        r.mtCps = measureMtScaling(point);
+        MtScaling scaling = measureMtScaling(point);
+        r.mtCps = std::move(scaling.cps);
+        r.mtParFrac = std::move(scaling.parFrac);
         std::printf("%-16s sparse-mt", point.name);
         for (std::size_t t = 0; t < kMtAxisLen; ++t) {
-          std::printf("  T=%d %10.0f c/s", kMtThreadAxis[t], r.mtCps[t]);
+          std::printf("  T=%d %10.0f c/s (par %.2f)", kMtThreadAxis[t],
+                      r.mtCps[t], r.mtParFrac[t]);
         }
         std::printf("   self-speedup %.2fx (on %u cores)\n", bestSelfSpeedup(r),
                     std::max(1u, std::thread::hardware_concurrency()));
@@ -636,7 +677,7 @@ int runHarness(const std::string& exe, const std::string& emitPath,
       // scaled linearly down to the cores this runner can actually host and
       // then halved to absorb shared-vCPU jitter. A single-core machine
       // requires exactly 1.0 (the gate disarms rather than flakes); an
-      // 8-core runner with min_self_speedup 3.0 requires 2.0x.
+      // 8-core runner with min_self_speedup 3.5 requires 2.25x.
       const double minSelf = extractPointValue(ref, r.name, "min_self_speedup");
       if (minSelf > 0.0) {
         if (r.mtCps.size() != kMtAxisLen) {

@@ -33,6 +33,10 @@ void printUsage() {
          "  --sim-threads N    run every point on the sparse-mt engine with N domain\n"
          "                     workers (bit-identical results; the sweep pool is derated\n"
          "                     so pool x N stays within hardware concurrency)\n"
+         "  --phase-timers     report each point's per-phase wall-clock breakdown on\n"
+         "                     stderr (cards/linkq/gen/inj/walk/commit/barrier, one line\n"
+         "                     per engine thread); cache hits skip simulation and print\n"
+         "                     nothing — combine with --no-cache to time every point\n"
          "  --format csv|json  artifact format (default csv)\n"
          "  --out DIR          artifact directory (default: $SWFT_RESULTS_DIR or results/)\n"
          "  --cache            consult the content-addressed result cache (default on):\n"
@@ -110,6 +114,8 @@ int main(int argc, char** argv) {
           std::cerr << "error: --sim-threads needs a positive integer\n";
           return 2;
         }
+      } else if (std::strcmp(arg, "--phase-timers") == 0) {
+        opt.phaseTimers = true;
       } else if (std::strcmp(arg, "--format") == 0) {
         const std::string fmt = needValue(i);
         if (fmt == "csv") {

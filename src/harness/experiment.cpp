@@ -133,6 +133,9 @@ ExperimentRun runExperiment(const ExperimentSpec& spec, const RunOptions& opt,
       p.cfg.simThreads = opt.simThreads;
     }
   }
+  if (opt.phaseTimers) {
+    for (SweepPoint& p : points) p.cfg.phaseTimers = true;
+  }
 
   // Resolve and create the artifact directory (and the cache store) before
   // any point simulates: a bad --out/--cache-dir must fail in milliseconds,

@@ -63,6 +63,12 @@ struct RunOptions {
   // the default engine; runSweep's oversubscription guard derates the pool
   // so pool_threads x sim_threads stays within hardware concurrency.
   int simThreads = 0;
+  // Enable SimConfig::phaseTimers on every point: each simulation reports its
+  // per-phase wall-clock breakdown on stderr as it finishes. Points served
+  // from the result cache never simulate, so they print no timers (the flag
+  // is excluded from the canonical cache key on purpose — timers don't
+  // change results).
+  bool phaseTimers = false;
   OutputFormat format = OutputFormat::Csv;
   std::string outDir;  // empty: resultsDir()
   bool writeArtifact = true;

@@ -69,6 +69,12 @@ struct SimConfig {
   // Clamped to the node count at network build; results are bit-identical
   // at every value by construction.
   int simThreads = 1;
+  // Collect per-phase wall-clock timers during the run (`phase_timers=1`,
+  // `swft_bench --phase-timers`). runSimulation prints one line per engine
+  // thread to stderr; Network::phaseShards() exposes them programmatically.
+  // Diagnostic only — never affects simulated results, and (like engine /
+  // simThreads) it is excluded from the canonical result-cache key.
+  bool phaseTimers = false;
 
   [[nodiscard]] std::string routingName() const {
     return routing == RoutingMode::Deterministic ? "deterministic" : "adaptive";

@@ -60,6 +60,8 @@ std::string canonicalConfigKey(const SimConfig& cfg, std::uint32_t semanticsVers
      << "|seed=" << cfg.seed;
   // cfg.engine / cfg.simThreads intentionally absent: bit-identical engines
   // share one content address, so cached results interchange across them.
+  // cfg.phaseTimers is likewise absent — it only adds wall-clock
+  // instrumentation and never changes the simulated outcome.
   return os.str();
 }
 

@@ -143,6 +143,8 @@ void applyConfigAssignment(SimConfig& cfg, const std::string& assignment) {
     if (cfg.simThreads < 1) {
       fail("config: sim_threads must be >= 1, got '" + value + "'");
     }
+  } else if (key == "phase_timers") {
+    cfg.phaseTimers = parseInt(key, value) != 0;
   } else if (key == "region") {
     cfg.faults.regions.push_back(parseRegion(cfg, value));
   } else {

@@ -23,31 +23,13 @@
 #include <cassert>
 
 #include "src/sim/engine_mt.hpp"
+#include "src/sim/link_qual.hpp"
 #include "src/sim/network.hpp"
 
-#ifdef SWFT_PHASE_TIMERS
-#include <chrono>
-#include <cstdio>
-namespace {
-struct PhaseTimers {
-  double gen = 0, inj = 0, router = 0;
-  ~PhaseTimers() {
-    std::fprintf(stderr, "phase timers: gen %.3fs inj %.3fs router %.3fs\n", gen,
-                 inj, router);
-  }
-} g_pt;
-inline double nowSec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
-#define SWFT_PT_MARK(var) const double pt_##var = nowSec()
-#define SWFT_PT_ADD(field, a, b) g_pt.field += pt_##b - pt_##a
-#else
-#define SWFT_PT_MARK(var)
-#define SWFT_PT_ADD(field, a, b)
-#endif
+// Per-phase wall-clock breakdown is a *runtime* option now (`phase_timers=1`
+// on the swft_sim command line, `--phase-timers` on swft_bench): PhaseClock
+// against Network::phaseShard(0), a no-op when the flag is off. The old
+// SWFT_PHASE_TIMERS compile-time define is gone.
 
 // Temporary event-count instrumentation (diagnostics only, off by default).
 #ifdef SWFT_EVENT_COUNTS
@@ -91,7 +73,7 @@ void Network::advanceCycle() {
 }
 
 void Network::advanceCycleSparse() {
-  SWFT_PT_MARK(t0);
+  PhaseClock clock(phaseShard(0));
   SWFT_EC_ADD(cycles, 1);
   // Phase 1a: generation, due PEs only. The calendar returns them ascending
   // by id — the order the dense sweep would reach them — so the global
@@ -104,8 +86,7 @@ void Network::advanceCycleSparse() {
     if (next != ~std::uint64_t{0}) calendar_.schedule(id, next);
   }
 
-  SWFT_PT_MARK(t1);
-  SWFT_PT_ADD(gen, t0, t1);
+  clock.mark(PhaseBreakdown::kGen);
   // Phase 1b: injection, only PEs with queued or streaming work, ascending.
   // stepInjection on a workless node is a no-op with no RNG draws, so the
   // conservative bitset (cleared lazily here) cannot change results.
@@ -119,8 +100,7 @@ void Network::advanceCycleSparse() {
     }
   }
 
-  SWFT_PT_MARK(t2);
-  SWFT_PT_ADD(inj, t1, t2);
+  clock.mark(PhaseBreakdown::kInj);
   // Phase 2+3: walk the live active set in the alternating sweep direction.
   // stepRouter can activate a *downstream* router mid-sweep (a flit pushed
   // into a previously-empty buffer); the dense sweep visits such a router
@@ -147,8 +127,7 @@ void Network::advanceCycleSparse() {
       }
     }
   }
-  SWFT_PT_MARK(t3);
-  SWFT_PT_ADD(router, t2, t3);
+  clock.mark(PhaseBreakdown::kWalk);
 }
 
 void Network::stepGeneration(NodeId id) {
@@ -254,9 +233,9 @@ bool Network::stepInjection(NodeId id) {
   }
   if (trace_ != nullptr && idx == 0) {
     const Message& m = pool_.get(node.streaming);
-    trace_->record({m.absorptions > 0 ? TraceEvent::Kind::Reinject
-                                      : TraceEvent::Kind::Inject,
-                    cycle_, id, 0, m.seq});
+    emitTrace({m.absorptions > 0 ? TraceEvent::Kind::Reinject
+                                 : TraceEvent::Kind::Inject,
+               cycle_, id, 0, m.seq});
   }
   ++node.nextFlit;
   if (f.isTail()) {
@@ -386,26 +365,18 @@ void Network::stepRouter(NodeId id) {
     // argument above: no commit on port p changes port q's candidates, their
     // arrival stamps, or their downstream credit line.
     const std::uint64_t live = occ[0] & routedW[0];
+    SWFT_EC_ADD(okIters, std::popcount(live));
     // Qualified-candidate mask per output port. occW == 1 bounds the unit
     // count by 64 and hence the port count by 64 / vcs; only the live range
-    // is zeroed (a short, trip-predictable loop).
+    // is zeroed (a short, trip-predictable loop). The pass itself lives in
+    // link_qual.hpp, shared with the sparse-mt engine's P1 precomputation.
     std::uint64_t okp[64];
     for (int p = 0; p <= localPort; ++p) okp[p] = 0;
-    std::uint64_t pm = 0;  // ports with at least one qualified candidate
-    std::uint64_t m = live;
-    while (m != 0) {
-      SWFT_EC_ADD(okIters, 1);
-      const int u = std::countr_zero(m);
-      m &= m - 1;
-      const std::uint32_t r = rw[u];
-      const int port = RouterArena::wordOutPort(r);
-      const std::uint64_t q = static_cast<std::uint64_t>(
-          (faRow[u] < cycle_) &
-          (arena_.sizeRow(cachedDownBase(id, port))[RouterArena::wordOutVc(r)] !=
-           fullDepth));
-      okp[port] |= q << u;
-      pm |= q << port;
-    }
+    std::uint64_t pm = qualifyLinkCandidates<false>(
+        live, rw, faRow, cycle_, okp, [&](int port, std::uint32_t r) {
+          return arena_.sizeRow(cachedDownBase(id, port))
+                     [RouterArena::wordOutVc(r)] != fullDepth;
+        });
     // Commit winners in ascending port order, ejection (the highest port)
     // last. Per port, the first qualified bit in circular round-robin order
     // from the cursor is picked with one rotate: rotr moves bit u to
@@ -498,8 +469,8 @@ inline void Network::commitLink(NodeId id, int port, int winnerIdx) {
     ++msg.hops;
     if (cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
     if (trace_ != nullptr) {
-      trace_->record({TraceEvent::Kind::Hop, cycle_, id,
-                      static_cast<std::uint8_t>(port), msg.seq});
+      emitTrace({TraceEvent::Kind::Hop, cycle_, id,
+                 static_cast<std::uint8_t>(port), msg.seq});
     }
   }
   arena_.push(cachedNeighbor(id, port), cachedDownBase(id, port) + outVc, flit,
@@ -536,8 +507,8 @@ void Network::finalizeEjected(NodeId id, MsgId msgId) {
 
   const bool software = msg.blockedValid || (msg.absorbAtTarget && msg.curTarget == id);
   if (trace_ != nullptr) {
-    trace_->record({software ? TraceEvent::Kind::Absorb : TraceEvent::Kind::Deliver,
-                    cycle_, id, 0, msg.seq});
+    emitTrace({software ? TraceEvent::Kind::Absorb : TraceEvent::Kind::Deliver,
+               cycle_, id, 0, msg.seq});
   }
   if (!software) {
     // Final delivery: the last data flit reached the destination PE.

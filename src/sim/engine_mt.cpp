@@ -8,46 +8,16 @@
 #include <bit>
 #include <cassert>
 
+#include "src/sim/link_qual.hpp"
 #include "src/sim/network.hpp"
 
-#ifdef SWFT_PHASE_TIMERS
-#include <array>
-#include <chrono>
-#include <cstdio>
-namespace {
-// Per-phase, per-thread accumulation for the barrier-phased engine: row =
-// thread slot (the domain index; the main thread is slot 0), column = phase.
-// Workers only ever write their own row, so no synchronisation is needed
-// beyond the engine's own barriers.
-struct MtPhaseTimers {
-  static constexpr int kMaxThreads = 64;
-  enum Phase { kCards = 0, kGen, kInj, kWalk, kCommit, kBarrier, kPhases };
-  std::array<std::array<double, kPhases>, kMaxThreads> acc{};
-  int threads = 1;
-  ~MtPhaseTimers() {
-    if (acc[0][kCards] + acc[0][kWalk] + acc[0][kCommit] == 0.0) return;
-    for (int t = 0; t < threads && t < kMaxThreads; ++t) {
-      std::fprintf(stderr,
-                   "mt phase timers[%d]: cards %.3fs gen %.3fs inj %.3fs "
-                   "walk %.3fs commit %.3fs barrier %.3fs\n",
-                   t, acc[t][kCards], acc[t][kGen], acc[t][kInj], acc[t][kWalk],
-                   acc[t][kCommit], acc[t][kBarrier]);
-    }
-  }
-} g_mtpt;
-inline double mtNowSec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-}  // namespace
-#define SWFT_MT_MARK(var) const double mt_##var = mtNowSec()
-#define SWFT_MT_ADD(slot, phase, a, b) \
-  g_mtpt.acc[(slot) & 63][MtPhaseTimers::phase] += mt_##b - mt_##a
-#else
-#define SWFT_MT_MARK(var)
-#define SWFT_MT_ADD(slot, phase, a, b)
-#endif
+// Per-phase wall-clock breakdown is a *runtime* option now (`phase_timers=1`,
+// `swft_bench --phase-timers`): every engine thread owns one PhaseBreakdown
+// shard in Network::phaseShards_ (slot = domain index, the baton thread is
+// slot 0) and charges it through a PhaseClock, a no-op when the flag is off.
+// Workers only ever write their own slot; the engine's barriers order those
+// writes against the main thread's reads. The old SWFT_PHASE_TIMERS
+// compile-time define is gone.
 
 namespace swft {
 
@@ -77,15 +47,42 @@ MtEngine::MtEngine(Network& net, int simThreads)
   cards_.resize(static_cast<std::size_t>(domains_));
   pops_.resize(static_cast<std::size_t>(domains_));
   pushes_.resize(static_cast<std::size_t>(domains_));
-  cardHead_.resize(static_cast<std::size_t>(nodes), 0);
-  cardCount_.resize(static_cast<std::size_t>(nodes), 0);
-  cardCycle_.resize(static_cast<std::size_t>(nodes), 0);
   sizeDelta_.resize(
       static_cast<std::size_t>(net_.arena_.creditSinkBase() + net_.arena_.vcs()), 0);
   foldHead_.resize(static_cast<std::size_t>(nodes), -1);
-#ifdef SWFT_PHASE_TIMERS
-  g_mtpt.threads = domains_;
-#endif
+  hopDeferred_.resize(static_cast<std::size_t>(domains_));
+  // One 64-byte-aligned 8-word metadata block per router (route-card span
+  // always; link-card words when enabled), so a baton turn probes a single
+  // cache line.
+  lqMetaStore_.resize(static_cast<std::size_t>(nodes) * kMStride + kMStride, 0);
+  const auto addr = reinterpret_cast<std::uintptr_t>(lqMetaStore_.data());
+  lqMeta_ = lqMetaStore_.data() + ((64 - addr % 64) % 64) / sizeof(std::uint64_t);
+  // Link cards exist only for the single-occupancy-word configurations the
+  // batched pass covers; the generic multi-word path re-qualifies in the
+  // baton as before.
+  injUnitFloor_ = net_.networkPorts_ * net_.cfg_.vcs;
+  portOfUnit_.resize(static_cast<std::size_t>(net_.arena_.unitsPerRouter()));
+  for (int u = 0; u < net_.arena_.unitsPerRouter(); ++u) {
+    portOfUnit_[static_cast<std::size_t>(u)] =
+        static_cast<std::uint8_t>(u / net_.cfg_.vcs);
+  }
+  lqEnabled_ = net_.arena_.occWordsPerRouter() == 1;
+  if (lqEnabled_) {
+    lqPorts_ = net_.arena_.totalPorts();
+    lqWinPack_ = lqPorts_ <= 9;  // 9 pm bits + 9 * 6 winner bits = 63
+    lqOk_.resize(static_cast<std::size_t>(nodes) * static_cast<std::size_t>(lqPorts_), 0);
+  }
+  commitStage_.resize(static_cast<std::size_t>(domains_));
+  confirmed_.resize(static_cast<std::size_t>(domains_));
+  if (lqWinPack_) commitSpan_.resize(static_cast<std::size_t>(nodes), 0);
+  // One timer slot per domain (slot 0 = the baton thread). Must be sized
+  // before the workers spawn — it is never resized mid-run.
+  if (net_.cfg_.phaseTimers) {
+    net_.phaseShards_.resize(static_cast<std::size_t>(domains_));
+  }
+  // All mt trace emission happens on the baton thread; stage it there and
+  // flush into the recorder while P3 runs (advanceCycle).
+  net_.traceSink_ = &traceStage_;
   workers_.reserve(static_cast<std::size_t>(domains_ - 1));
   for (int d = 1; d < domains_; ++d) {
     workers_.emplace_back([this, d] { workerLoop(d); });
@@ -96,25 +93,26 @@ MtEngine::~MtEngine() {
   stop_.store(true, std::memory_order_relaxed);
   epoch_.fetch_add(1, std::memory_order_release);
   for (std::thread& t : workers_) t.join();
+  net_.traceSink_ = nullptr;
 }
 
 void MtEngine::workerLoop(int d) {
   std::uint64_t next = 1;
+  PhaseClock clock(net_.phaseShard(static_cast<std::size_t>(d)));
   for (;;) {
-    SWFT_MT_MARK(w0);
+    clock.reset();
     int spins = 0;
     while (epoch_.load(std::memory_order_acquire) < next) spinPause(spins);
-    SWFT_MT_MARK(w1);
-    SWFT_MT_ADD(d, kBarrier, w0, w1);
+    clock.mark(PhaseBreakdown::kBarrier);
     if (stop_.load(std::memory_order_relaxed)) return;
     if ((next & 1) != 0) {
       buildCards(d);
-      SWFT_MT_MARK(w2);
-      SWFT_MT_ADD(d, kCards, w1, w2);
+      clock.mark(PhaseBreakdown::kCards);
+      buildLinkCards(d);
+      clock.mark(PhaseBreakdown::kLinkQual);
     } else {
       applyCommands(d);
-      SWFT_MT_MARK(w3);
-      SWFT_MT_ADD(d, kCommit, w1, w3);
+      clock.mark(PhaseBreakdown::kCommit);
     }
     arrived_.fetch_add(1, std::memory_order_release);
     ++next;
@@ -130,53 +128,67 @@ void MtEngine::awaitWorkers() {
   arrived_.store(0, std::memory_order_relaxed);
 }
 
-void MtEngine::advanceCycle() {
-  for (auto& q : pops_) q.clear();
-  for (auto& q : pushes_) q.clear();
-
-  if (workers_.empty()) {
-    SWFT_MT_MARK(s0);
-    buildCards(0);
-    SWFT_MT_MARK(s1);
-    SWFT_MT_ADD(0, kCards, s0, s1);
-    baton();
-    SWFT_MT_MARK(s2);
-    for (const auto& q : pops_)
-      for (const PopCmd& c : q) sizeDelta_[c.unit] = 0;
-    for (const auto& q : pushes_)
-      for (const PushCmd& c : q) sizeDelta_[c.unit] = 0;
-    applyCommands(0);
-    SWFT_MT_MARK(s3);
-    SWFT_MT_ADD(0, kCommit, s2, s3);
-    return;
-  }
-
-  SWFT_MT_MARK(t0);
-  launchPhase();  // P1
-  buildCards(0);
-  SWFT_MT_MARK(t1);
-  SWFT_MT_ADD(0, kCards, t0, t1);
-  awaitWorkers();
-  SWFT_MT_MARK(t2);
-  SWFT_MT_ADD(0, kBarrier, t1, t2);
-
-  baton();  // P2
-
-  SWFT_MT_MARK(t3);
-  launchPhase();  // P3
-  // Reset the deltas while the workers commit: P3 never reads them, and the
-  // command lists are read-only on both sides. Double-zeroing a unit that
-  // was both popped and pushed is harmless.
+void MtEngine::resetSizeDeltas() {
   for (const auto& q : pops_)
     for (const PopCmd& c : q) sizeDelta_[c.unit] = 0;
   for (const auto& q : pushes_)
     for (const PushCmd& c : q) sizeDelta_[c.unit] = 0;
-  applyCommands(0);
-  SWFT_MT_MARK(t4);
-  SWFT_MT_ADD(0, kCommit, t3, t4);
+  for (std::size_t d = 0; d < confirmed_.size(); ++d) {
+    const std::vector<CommitRec>& stage = commitStage_[d];
+    for (const ConfirmedSpan& s : confirmed_[d]) {
+      const CommitRec* r = stage.data() + s.head;
+      for (int i = 0; i < s.count; ++i) {
+        sizeDelta_[r[i].g] = 0;
+        sizeDelta_[r[i].du] = 0;
+      }
+    }
+  }
+}
+
+void MtEngine::advanceCycle() {
+  for (auto& q : pops_) q.clear();
+  for (auto& q : pushes_) q.clear();
+  for (auto& q : confirmed_) q.clear();
+  PhaseClock clock(net_.phaseShard(0));
+
+  if (workers_.empty()) {
+    buildCards(0);
+    clock.mark(PhaseBreakdown::kCards);
+    buildLinkCards(0);
+    clock.mark(PhaseBreakdown::kLinkQual);
+    baton();  // charges kGen/kInj/kWalk on slot 0 itself
+    clock.reset();
+    resetSizeDeltas();
+    applyCommands(0);
+    if (net_.trace_ != nullptr) traceStage_.flushTo(*net_.trace_);
+    clock.mark(PhaseBreakdown::kCommit);
+    return;
+  }
+
+  launchPhase();  // P1
+  buildCards(0);
+  clock.mark(PhaseBreakdown::kCards);
+  buildLinkCards(0);
+  clock.mark(PhaseBreakdown::kLinkQual);
   awaitWorkers();
-  SWFT_MT_MARK(t5);
-  SWFT_MT_ADD(0, kBarrier, t4, t5);
+  clock.mark(PhaseBreakdown::kBarrier);
+
+  baton();  // P2; charges kGen/kInj/kWalk on slot 0 itself
+  clock.reset();
+
+  launchPhase();  // P3
+  // Reset the deltas while the workers commit: P3 never reads them, and the
+  // command lists and confirmed stages are read-only on both sides.
+  // Double-zeroing a unit that was both popped and pushed is harmless.
+  resetSizeDeltas();
+  applyCommands(0);
+  // Flush the staged trace events while the workers are still committing:
+  // the recorder's hash-map inserts overlap P3 instead of stretching the
+  // serial baton. Only this thread ever touches the stage or the recorder.
+  if (net_.trace_ != nullptr) traceStage_.flushTo(*net_.trace_);
+  clock.mark(PhaseBreakdown::kCommit);
+  awaitWorkers();
+  clock.mark(PhaseBreakdown::kBarrier);
 }
 
 void MtEngine::buildCards(int d) {
@@ -219,10 +231,118 @@ void MtEngine::buildCards(int d) {
         }
       }
       if (cand.size() != begin) {
-        cardHead_[id] = static_cast<std::int32_t>(begin);
-        cardCount_[id] = static_cast<std::uint16_t>(cand.size() - begin);
-        cardCycle_[id] = cycle + 1;
+        std::uint64_t* meta =
+            lqMeta_ + static_cast<std::size_t>(id) * kMStride;
+        meta[kMCard] =
+            (static_cast<std::uint64_t>(begin) << 16) | (cand.size() - begin);
+        meta[kMCardCyc] = cycle + 1;
       }
+    }
+  }
+}
+
+void MtEngine::buildLinkCards(int d) {
+  if (!lqEnabled_) return;
+  Network& n = net_;
+  const RouterArena& a = n.arena_;
+  const std::uint64_t cycle = n.cycle_;
+  const auto fullDepth = static_cast<std::uint16_t>(a.depth());
+  const int unitCount = a.unitsPerRouter();
+  const int localPort = n.networkPorts_;
+  const NodeId lo = domStart_[d];
+  const NodeId hi = domStart_[d + 1];
+  const std::vector<std::uint64_t>& active = a.activeWords();
+  std::vector<CommitRec>& stage = commitStage_[d];
+  stage.clear();
+
+  const std::size_t wLo = static_cast<std::size_t>(lo) >> 6;
+  const std::size_t wHi = (static_cast<std::size_t>(hi) + 63) >> 6;
+  for (std::size_t w = wLo; w < wHi; ++w) {
+    std::uint64_t bits = active[w];
+    if (w == wLo && (lo & 63) != 0) bits &= ~0ULL << (lo & 63);
+    if (w == wHi - 1 && (hi & 63) != 0) bits &= (1ULL << (hi & 63)) - 1;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto id = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      const std::uint64_t live = a.occWords(id)[0] & a.routedWords(id)[0];
+      if (live == 0) continue;
+      const int routerBase = a.base(id);
+      std::uint64_t* okp = lqOk_.data() +
+                           static_cast<std::size_t>(id) *
+                               static_cast<std::size_t>(lqPorts_);
+      for (int p = 0; p < lqPorts_; ++p) okp[p] = 0;
+      // P1 runs against the post-commit arena with every sizeDelta_ zero,
+      // so the snapshot credit probe is a plain arena size read — the same
+      // probe the sparse engine makes. The freshness check is vacuously
+      // true here (every front arrived in an earlier cycle), so the blocked
+      // word is exactly the credit-starved candidate set.
+      std::uint64_t* meta = lqMeta_ + static_cast<std::size_t>(id) * kMStride;
+      std::uint64_t blocked = 0;
+      const std::uint64_t pm = qualifyLinkCandidates<true>(
+          live, a.routeRow(routerBase), a.frontArrivalRow(routerBase), cycle,
+          okp,
+          [&](int port, std::uint32_t r) {
+            return a.sizeRow(n.cachedDownBase(id, port))
+                       [RouterArena::wordOutVc(r)] != fullDepth;
+          },
+          &blocked);
+      // Resolve each port's round-robin winner now: the cursor is only
+      // written at the owning router's baton turn, so the value P1 reads is
+      // the value the turn would read, and qualified candidates never drop
+      // out mid-baton (credit is monotone). The baton takes these winners
+      // verbatim unless a wake or a newly-routed unit widens the field.
+      if (lqWinPack_) {
+        std::uint64_t pw = pm & 0x1ffULL;
+        const auto head = static_cast<std::uint64_t>(stage.size());
+        std::uint64_t m = pm;
+        while (m != 0) {
+          const int p = std::countr_zero(m);
+          m &= m - 1;
+          const int cur = a.cursor(id, p);
+          const std::uint64_t rot = std::rotr(okp[p], cur);
+          const int win = (cur + std::countr_zero(rot)) & 63;
+          pw |= static_cast<std::uint64_t>(win) << (9 + 6 * p);
+          if (p == localPort) continue;  // ejections stay fully on the baton
+          // Stage the winner's whole commit (see CommitRec): every input is
+          // frozen through P2 — the front until this very pop, the route
+          // word until this very tail release, downstream sizes until P3.
+          // Header-only fields (the downstream size probe is the one random
+          // load here) stay zero for body/tail flits.
+          const int g = routerBase + win;
+          const Flit f = a.front(g);
+          const std::uint8_t ov = a.outVc(g);
+          const std::int32_t du = n.cachedDownBase(id, p) + ov;
+          const NodeId down = n.cachedNeighbor(id, p);
+          std::uint8_t flags = 0;
+          std::uint16_t sizeP1du = 0;
+          std::uint8_t dim = 0;
+          if (f.isHeader()) {
+            flags |= kCrHeader;
+            if (n.cachedWrap(id, p)) flags |= kCrWrap;
+            sizeP1du = static_cast<std::uint16_t>(a.size(du));
+            dim = static_cast<std::uint8_t>(dimOfPort(p));
+          }
+          if (f.isTail()) flags |= kCrTail;
+          if (win >= injUnitFloor_) flags |= kCrInjUnit;
+          if (domainOf_[down] != d) flags |= kCrCross;
+          std::int32_t wakeNbr = -1;
+          if (win < injUnitFloor_ && a.size(g) == fullDepth) {
+            wakeNbr = static_cast<std::int32_t>(
+                n.cachedNeighbor(id, portOfUnit_[static_cast<std::size_t>(win)]));
+          }
+          stage.push_back({f, static_cast<std::int32_t>(g), du, down, wakeNbr,
+                           sizeP1du, static_cast<std::uint8_t>(p),
+                           static_cast<std::uint8_t>(win + 1 == unitCount ? 0 : win + 1),
+                           static_cast<std::uint8_t>(win), ov, dim, flags});
+        }
+        meta[kMWin] = pw;
+        commitSpan_[id] = (head << 16) | (stage.size() - head);
+      }
+      meta[kMLive] = live;
+      meta[kMBlocked] = blocked;
+      meta[kMPm] = pm;
+      meta[kMCyc] = cycle + 1;
     }
   }
 }
@@ -230,8 +350,8 @@ void MtEngine::buildCards(int d) {
 void MtEngine::baton() {
   Network& n = net_;
   const std::uint64_t cycle = n.cycle_;
+  PhaseClock clock(n.phaseShard(0));
 
-  SWFT_MT_MARK(b0);
   // Generation: identical to the sparse engine (calendar order is ascending
   // node id, the dense position of every generation-side draw).
   for (NodeId id : n.calendar_.takeDue(cycle)) {
@@ -239,8 +359,7 @@ void MtEngine::baton() {
     const std::uint64_t next = n.nodes_[id].nextGenCycle;
     if (next != ~std::uint64_t{0}) n.calendar_.schedule(id, next);
   }
-  SWFT_MT_MARK(b1);
-  SWFT_MT_ADD(0, kGen, b0, b1);
+  clock.mark(PhaseBreakdown::kGen);
 
   // Injection: identical to the sparse engine, with the fold-in sink
   // attached so freshly injected headers reach the router walk below.
@@ -258,8 +377,7 @@ void MtEngine::baton() {
     }
   }
   n.injFoldSink_ = nullptr;
-  SWFT_MT_MARK(b2);
-  SWFT_MT_ADD(0, kInj, b1, b2);
+  clock.mark(PhaseBreakdown::kInj);
 
   // The walk's active view: the arena bitmap after injection, extended
   // mid-walk as deferred pushes activate empty routers (addFoldIn).
@@ -297,22 +415,72 @@ void MtEngine::baton() {
   for (NodeId id : foldTouched_) foldHead_[id] = -1;
   foldTouched_.clear();
   folds_.clear();
-  SWFT_MT_MARK(b3);
-  SWFT_MT_ADD(0, kWalk, b2, b3);
+  clock.mark(PhaseBreakdown::kWalk);
 }
 
 void MtEngine::applyCommands(int d) {
   RouterArena& a = net_.arena_;
   const std::uint64_t cycle = net_.cycle_;
+  const std::vector<CommitRec>& stage = commitStage_[d];
   // All pops before all pushes: a winner's pop may be what frees the slot a
   // same-cycle push into the same unit needs (the virtual size already
   // proved the combined result fits).
   for (const PopCmd& c : pops_[d]) (void)a.popMt(c.node, c.unit, cycle);
+  for (const ConfirmedSpan& s : confirmed_[d]) {
+    const CommitRec* r = stage.data() + s.head;
+    for (int i = 0; i < s.count; ++i) (void)a.popMt(s.node, r[i].g, cycle);
+  }
   for (const PushCmd& c : pushes_[d]) a.pushMt(c.node, c.unit, c.flit, cycle);
+  for (const ConfirmedSpan& s : confirmed_[d]) {
+    const CommitRec* r = stage.data() + s.head;
+    for (int i = 0; i < s.count; ++i) {
+      // Cross-domain pushes were re-queued on the owner's pushes_ by the
+      // baton; everything else lands on this domain's own routers.
+      if ((r[i].flags & kCrCross) == 0) {
+        a.pushMt(r[i].down, r[i].du, r[i].flit, cycle);
+      }
+      // Staged hop bookkeeping, unless the baton applied it eagerly for a
+      // virtually-empty downstream (kCrEagerHop). Distinct messages per
+      // record, same argument as hopDeferred_ below.
+      if ((r[i].flags & (kCrHeader | kCrEagerHop)) == kCrHeader) {
+        Message& msg = net_.pool_.get(r[i].flit.msg);
+        ++msg.hops;
+        if ((r[i].flags & kCrWrap) != 0) msg.setWrapped(r[i].dim);
+      }
+    }
+  }
+  // Deferred hop bookkeeping: each record targets a distinct Message (one
+  // link crossing per message per cycle), so the per-domain applies commute
+  // and nothing reads hops/wrapped until after the P3 barrier.
+  for (const HopRec& h : hopDeferred_[d]) {
+    Message& msg = net_.pool_.get(h.msg);
+    ++msg.hops;
+    if (h.wrapped) msg.setWrapped(h.dim);
+  }
+  hopDeferred_[d].clear();
 }
 
 bool MtEngine::creditAvailable(std::int32_t downUnit) const noexcept {
   return net_.arena_.size(downUnit) + sizeDelta_[downUnit] != net_.arena_.depth();
+}
+
+void MtEngine::wakeUpstream(NodeId id, int unitIdx) {
+  // A snapshot-blocked candidate can unblock mid-baton only if the router
+  // owning its full downstream unit pops that unit first (arena sizes are
+  // frozen during P2, and the only pusher into the unit is the candidate's
+  // own router, which has not taken its turn yet). Stamp the upstream
+  // feeder of the popped unit so only woken routers re-check their blocked
+  // set; a wake landing on an already-visited or inactive router is
+  // harmless — the stamp expires with the cycle.
+  if (!lqEnabled_) return;
+  if (unitIdx >= injUnitFloor_) return;  // injection units feed no link
+  const int port = portOfUnit_[static_cast<std::size_t>(unitIdx)];
+  // Only a pop out of a *snapshot-full* unit can unblock anyone (sizes are
+  // frozen until P3, so a unit not full at P1 is not full at any turn).
+  const int g = net_.arena_.base(id) + unitIdx;
+  if (net_.arena_.size(g) != net_.arena_.depth()) return;
+  lqMeta_[static_cast<std::size_t>(net_.cachedNeighbor(id, port)) * kMStride +
+          kMWake] = net_.cycle_ + 1;
 }
 
 void MtEngine::addFoldIn(NodeId node, std::int32_t unit, MsgId msg) {
@@ -344,6 +512,7 @@ void MtEngine::stepRouterMt(NodeId id) {
   const int occW = a.occWordsPerRouter();
   const std::uint64_t* occ = a.occWords(id);
   const std::uint64_t* routedW = a.routedWords(id);
+  const std::uint64_t* meta = lqMeta_ + static_cast<std::size_t>(id) * kMStride;
 
   // Phase A: the precomputed card span merged with this cycle's fold-ins,
   // ascending by unit — exactly the dense occupied-unrouted-header scan.
@@ -370,10 +539,10 @@ void MtEngine::stepRouterMt(NodeId id) {
     }
     const PaCand* c = nullptr;
     const PaCand* cEnd = nullptr;
-    if (cardCycle_[id] == cycle + 1) {
+    if (meta[kMCardCyc] == cycle + 1) {
       const std::vector<PaCand>& vec = cards_[domainOf_[id]];
-      c = vec.data() + cardHead_[id];
-      cEnd = c + cardCount_[id];
+      c = vec.data() + (meta[kMCard] >> 16);
+      cEnd = c + (meta[kMCard] & 0xffffULL);
     }
     int fi = 0;
     while (c != cEnd || fi != nf) {
@@ -391,35 +560,139 @@ void MtEngine::stepRouterMt(NodeId id) {
     }
   }
 
-  // Phase B: the batched link pass, mirroring Network::stepRouter with two
-  // differences: downstream credit reads virtual sizes (arena + pending
-  // delta), and winner pops/pushes are deferred to P3. Candidate-side state
-  // (occupancy, routed masks, front arrivals) is read live from the arena —
-  // correct because this router's units cannot have been popped before its
-  // own turn, and deferred pushes never create a same-cycle candidate (their
-  // arrival stamp equals the current cycle, failing qualification exactly as
-  // it would in the dense engine).
+  // Phase B: the batched link pass, mirroring Network::stepRouter with the
+  // qualification *validated* from the P1 link card instead of re-run, and
+  // with winner pops/pushes deferred to P3.
+  //
+  // The card stays valid because nothing a baton does before this router's
+  // own turn can change its candidates: fronts and route words of its units
+  // mutate only at its own turn (pops, releaseRoute), pushes never change a
+  // non-empty unit's front, and a candidate's downstream credit can only
+  // *improve* — the sole pusher into its downstream unit is this router
+  // itself (output-VC ownership pins the unit's incoming link to this
+  // router's port), while earlier routers' pops free slots. Hence:
+  // snapshot-qualified candidates stand as-is; snapshot-blocked ones (which
+  // failed only the credit probe — freshness is vacuous at P1) re-check
+  // credit against the virtual sizes (arena + pending delta); and only
+  // units the card does not cover — routed in Phase A just now, or on a
+  // router that had no live unit at P1 — qualify from scratch. Deferred
+  // pushes never create a same-cycle candidate (their occupancy bit is
+  // still clear), and eager injection pushes carry this cycle's arrival
+  // stamp, failing freshness exactly as in the dense engine.
   const std::uint32_t* rw = a.routeRow(routerBase);
   const std::uint64_t* faRow = a.frontArrivalRow(routerBase);
 
   if (occW == 1) {
-    const std::uint64_t live = occ[0] & routedW[0];
-    std::uint64_t okp[64];
-    for (int p = 0; p <= localPort; ++p) okp[p] = 0;
+    std::uint64_t okpLocal[64];
+    std::uint64_t* okp;
     std::uint64_t pm = 0;
-    std::uint64_t m = live;
-    while (m != 0) {
-      const int u = std::countr_zero(m);
-      m &= m - 1;
+    std::uint64_t covered = 0;
+    const int unitCount = a.unitsPerRouter();
+    if (meta[kMCyc] == cycle + 1) {
+      covered = meta[kMLive];
+      const bool woken = meta[kMWake] == cycle + 1;
+      if (lqWinPack_ && !woken && ((occ[0] & routedW[0]) & ~covered) == 0) {
+        // Fast path: nothing changed since P1 — no pop woke this router
+        // (every snapshot-blocked candidate's downstream is still exactly
+        // full, see wakeUpstream) and no unit joined the field (Phase A
+        // routed nothing new, no push landed on a front). The qualified
+        // set, the winners, and their staged commits are the card's
+        // verbatim; apply only the serially-ordered effects here and leave
+        // the pops/pushes/hop records for P3 to take from the stage.
+        const std::uint64_t span = commitSpan_[id];
+        const int cnt = static_cast<int>(span & 0xffff);
+        CommitRec* rec = commitStage_[domainOf_[id]].data() + (span >> 16);
+        for (int i = 0; i < cnt; ++i) {
+          CommitRec& r = rec[i];
+          a.setCursor(id, r.port, r.nextCur);
+          --sizeDelta_[r.g];
+          if (r.wakeNbr >= 0) {
+            lqMeta_[static_cast<std::size_t>(r.wakeNbr) * kMStride + kMWake] =
+                cycle + 1;
+          }
+          if ((r.flags & kCrInjUnit) != 0) n.markNodeWork(id);
+          if ((r.flags & kCrHeader) != 0) {
+            if (r.sizeP1du + sizeDelta_[r.du] == 0) {
+              // Virtually empty downstream: the header becomes its front and
+              // may route later this baton — hops/wrap cannot be deferred.
+              Message& msg = n.pool_.get(r.flit.msg);
+              ++msg.hops;
+              if ((r.flags & kCrWrap) != 0) msg.setWrapped(r.dim);
+              addFoldIn(r.down, r.du, r.flit.msg);
+              r.flags |= kCrEagerHop;
+            }
+            if (n.trace_ != nullptr) {
+              n.emitTrace({TraceEvent::Kind::Hop, cycle, id, r.port,
+                           n.pool_.get(r.flit.msg).seq});
+            }
+          }
+          if ((r.flags & kCrCross) != 0) {
+            // Cross-domain push: P3 applies a unit's pops and pushes on its
+            // owner's worker, so route it through the classic queue.
+            pushes_[domainOf_[r.down]].push_back({r.down, r.du, r.flit});
+          }
+          ++sizeDelta_[r.du];
+          if ((r.flags & kCrTail) != 0) {
+            a.releaseRoute(id, r.winnerIdx);
+            a.setOutOwner(id, r.port, r.outVc, -1);
+          }
+        }
+        if (cnt != 0) {
+          n.lastMovementCycle_ = cycle;
+          confirmed_[domainOf_[id]].push_back(
+              {static_cast<std::uint32_t>(span >> 16), id,
+               static_cast<std::uint16_t>(cnt)});
+        }
+        const std::uint64_t pw = meta[kMWin];
+        if (((pw >> localPort) & 1) != 0) {
+          const int winnerIdx =
+              static_cast<int>((pw >> (9 + 6 * localPort)) & 63ULL);
+          a.setCursor(id, localPort,
+                      static_cast<std::uint16_t>(
+                          winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
+          ejectFlitMt(id, winnerIdx);
+        }
+        return;
+      }
+      // Slow path: consume the P1 card in place — it is rebuilt from
+      // scratch next P1, and nothing else reads it after this router's
+      // turn, so the fixup bits below may be OR-ed straight into its rows.
+      // kMLive is the covered set in one load (qualified ∪ blocked =
+      // live-at-P1).
+      okp = lqOk_.data() +
+            static_cast<std::size_t>(id) * static_cast<std::size_t>(lqPorts_);
+      pm = meta[kMPm];
+      // Unwoken routers skip the re-check wholesale: every blocked unit's
+      // downstream is still exactly full (see wakeUpstream).
+      std::uint64_t retry = woken ? meta[kMBlocked] : 0;
+      while (retry != 0) {
+        const int u = std::countr_zero(retry);
+        retry &= retry - 1;
+        const std::uint32_t r = rw[u];
+        const int port = RouterArena::wordOutPort(r);
+        const std::int32_t du =
+            n.cachedDownBase(id, port) + RouterArena::wordOutVc(r);
+        const auto q = static_cast<std::uint64_t>(creditAvailable(du));
+        okp[port] |= q << u;
+        pm |= q << port;
+      }
+    } else {
+      okp = okpLocal;
+      for (int p = 0; p <= localPort; ++p) okp[p] = 0;
+    }
+    std::uint64_t fix = (occ[0] & routedW[0]) & ~covered;
+    while (fix != 0) {
+      const int u = std::countr_zero(fix);
+      fix &= fix - 1;
       const std::uint32_t r = rw[u];
       const int port = RouterArena::wordOutPort(r);
-      const std::int32_t du = n.cachedDownBase(id, port) + RouterArena::wordOutVc(r);
+      const std::int32_t du =
+          n.cachedDownBase(id, port) + RouterArena::wordOutVc(r);
       const auto q = static_cast<std::uint64_t>(
           (faRow[u] < cycle) & creditAvailable(du));
       okp[port] |= q << u;
       pm |= q << port;
     }
-    const int unitCount = a.unitsPerRouter();
     while (pm != 0) {
       const int port = std::countr_zero(pm);
       pm &= pm - 1;
@@ -489,20 +762,36 @@ void MtEngine::commitLinkMt(NodeId id, int port, int winnerIdx) {
   const Flit flit = a.front(g);
   pops_[domainOf_[id]].push_back({id, static_cast<std::int32_t>(g)});
   --sizeDelta_[g];
+  wakeUpstream(id, winnerIdx);
   n.lastMovementCycle_ = n.cycle_;
-  if (winnerIdx >= n.networkPorts_ * n.cfg_.vcs) n.markNodeWork(id);
+  if (winnerIdx >= injUnitFloor_) n.markNodeWork(id);
 
+  const NodeId down = n.cachedNeighbor(id, port);
+  const std::int32_t du = n.cachedDownBase(id, port) + outVc;
   if (flit.isHeader()) {
-    Message& msg = n.pool_.get(flit.msg);
-    ++msg.hops;
-    if (n.cachedWrap(id, port)) msg.setWrapped(dimOfPort(port));
+    const bool wrap = n.cachedWrap(id, port);
+    const auto dim = static_cast<std::uint8_t>(dimOfPort(port));
+    if (a.size(du) + sizeDelta_[du] == 0) {
+      // The header becomes the downstream unit's front (deferPush will
+      // register the fold-in): the downstream router may route it later
+      // this same baton, and routing reads msg.wrapped — so this one
+      // Message update cannot be deferred.
+      Message& msg = n.pool_.get(flit.msg);
+      ++msg.hops;
+      if (wrap) msg.setWrapped(dim);
+    } else {
+      // Common case: the downstream unit already holds flits, so nothing
+      // reads this message's hop state before P3 applies the record (a
+      // message's tail can never eject in the same cycle its header still
+      // crosses a link, and next cycle's P1 route pass runs after P3).
+      hopDeferred_[domainOf_[id]].push_back({flit.msg, dim, wrap});
+    }
     if (n.trace_ != nullptr) {
-      n.trace_->record({TraceEvent::Kind::Hop, n.cycle_, id,
-                        static_cast<std::uint8_t>(port), msg.seq});
+      n.emitTrace({TraceEvent::Kind::Hop, n.cycle_, id,
+                   static_cast<std::uint8_t>(port), n.pool_.get(flit.msg).seq});
     }
   }
-  deferPush(n.cachedNeighbor(id, port),
-            n.cachedDownBase(id, port) + outVc, flit);
+  deferPush(down, du, flit);
 
   if (flit.isTail()) {
     a.releaseRoute(id, winnerIdx);
@@ -517,8 +806,9 @@ void MtEngine::ejectFlitMt(NodeId id, int unitIdx) {
   const Flit flit = a.front(g);
   pops_[domainOf_[id]].push_back({id, static_cast<std::int32_t>(g)});
   --sizeDelta_[g];
+  wakeUpstream(id, unitIdx);
   n.lastMovementCycle_ = n.cycle_;
-  if (unitIdx >= n.networkPorts_ * n.cfg_.vcs) n.markNodeWork(id);
+  if (unitIdx >= injUnitFloor_) n.markNodeWork(id);
 
 #ifndef NDEBUG
   ++n.pool_.get(flit.msg).flitsEjected;

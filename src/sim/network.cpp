@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "src/sim/engine_mt.hpp"
@@ -95,6 +96,9 @@ Network::Network(const SimConfig& cfg)
     windowOpen_ = true;
     windowStartCycle_ = 0;
   }
+  // Slot 0 (the main/baton thread); the mt engine widens this to one slot
+  // per domain before its workers spawn.
+  if (cfg.phaseTimers) phaseShards_.resize(1);
   if (cfg.engine == EngineKind::SparseMt) {
     // Last: the engine captures the fully-built network (caches, arena).
     mt_ = std::make_unique<MtEngine>(*this, cfg.simThreads);
@@ -180,7 +184,24 @@ void Network::step(std::uint64_t cycles) {
   for (std::uint64_t i = 0; i < cycles && !deadlockSuspected_; ++i) advanceCycle();
 }
 
-SimResult runSimulation(const SimConfig& cfg) { return Network(cfg).run(); }
+SimResult runSimulation(const SimConfig& cfg) {
+  Network net(cfg);
+  SimResult result = net.run();
+  if (cfg.phaseTimers) {
+    const std::vector<PhaseBreakdown>& shards = net.phaseShards();
+    PhaseBreakdown merged;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      merged += shards[i];
+      std::fprintf(stderr, "phase timers[%zu]: %s\n", i,
+                   shards[i].toString().c_str());
+    }
+    if (shards.size() > 1) {
+      std::fprintf(stderr, "phase timers[merged]: %s\n",
+                   merged.toString().c_str());
+    }
+  }
+  return result;
+}
 
 std::string Network::validateInvariants() const {
   if (cfg_.engine == EngineKind::Dense) {

@@ -82,6 +82,14 @@ class Network {
   /// tracing every event is O(messages x hops) memory.
   void attachTrace(TraceRecorder* trace) noexcept { trace_ = trace; }
 
+  /// Per-engine-thread phase timers, collected when `cfg.phaseTimers` is
+  /// set (empty otherwise). Slot 0 is the main/baton thread; the sparse-mt
+  /// engine adds one slot per worker domain. Read only after run()/step()
+  /// returns — the barrier handoff makes worker slots visible then.
+  [[nodiscard]] const std::vector<PhaseBreakdown>& phaseShards() const noexcept {
+    return phaseShards_;
+  }
+
   /// Validate microarchitectural invariants (occupancy bits/counts/active
   /// set vs buffers, output-VC ownership consistency, wormhole per-VC
   /// message contiguity, injection-side work-set coverage). Returns an empty
@@ -200,6 +208,30 @@ class Network {
   }
 
   TraceRecorder* trace_ = nullptr;
+
+  // When non-null (installed by the sparse-mt engine), trace events stage
+  // into this buffer instead of hitting the recorder's hash map; the mt
+  // engine flushes it FIFO while its parallel commit phase runs. Every
+  // emission site must route through emitTrace so the two paths stay in
+  // sync. All emission happens on the baton (main) thread.
+  TraceBuffer* traceSink_ = nullptr;
+
+  // Callers guard on trace_ != nullptr before building the event.
+  void emitTrace(const TraceEvent& event) {
+    if (traceSink_ != nullptr) {
+      traceSink_->stage(event);
+    } else {
+      trace_->record(event);
+    }
+  }
+
+  // Per-engine-thread phase timers; sized by the engine at construction
+  // when cfg_.phaseTimers is set, never resized mid-run.
+  std::vector<PhaseBreakdown> phaseShards_;
+
+  [[nodiscard]] PhaseBreakdown* phaseShard(std::size_t slot) noexcept {
+    return slot < phaseShards_.size() ? &phaseShards_[slot] : nullptr;
+  }
 
   // When non-null (sparse-mt's ordered phase), stepInjection reports every
   // header pushed into an empty injection unit here so the mt router walk

@@ -2,10 +2,35 @@
 
 #include "src/sim/config.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace swft {
+
+const char* PhaseBreakdown::phaseName(int p) noexcept {
+  switch (p) {
+    case kCards: return "cards";
+    case kLinkQual: return "linkq";
+    case kGen: return "gen";
+    case kInj: return "inj";
+    case kWalk: return "walk";
+    case kCommit: return "commit";
+    case kBarrier: return "barrier";
+    default: return "?";
+  }
+}
+
+std::string PhaseBreakdown::toString() const {
+  std::string out;
+  char buf[48];
+  for (int p = 0; p < kPhaseCount; ++p) {
+    std::snprintf(buf, sizeof(buf), "%s%s %.3fs", p ? " " : "", phaseName(p),
+                  sec[p]);
+    out += buf;
+  }
+  return out;
+}
 
 ScalePreset scaleFromEnv() {
   const char* env = std::getenv("SWFT_SCALE");

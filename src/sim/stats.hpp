@@ -2,9 +2,11 @@
 // the measurement window, and the "messages queued" absorption counter.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 
 namespace swft {
 
@@ -97,6 +99,75 @@ class LatencyTracker {
   std::uint64_t hist_[kBuckets] = {};
   double batchSum_ = 0.0;
   std::uint64_t batchCount_ = 0;
+};
+
+/// Wall-clock seconds spent in each phase of the cycle loop, collected when
+/// `SimConfig::phaseTimers` is set (runtime flag — no rebuild needed). Each
+/// engine thread owns one shard; shards merge by order-insensitive summation,
+/// so the totals are identical no matter which thread finished first.
+///
+/// Phase meanings by engine:
+///   sparse    — kGen/kInj/kWalk only (single shard; everything is "serial")
+///   sparse-mt — slot 0 (baton thread): kCards/kLinkQual are its own P1 work,
+///               kGen/kInj/kWalk the serial P2 baton, kCommit its P3 share,
+///               kBarrier the launch/await bookkeeping; worker slots carry
+///               their P1 (cards + link qualification) and P3 (commit) time.
+struct PhaseBreakdown {
+  enum Phase : int {
+    kCards = 0,    // P1: route precomputation (candidate cards)
+    kLinkQual,     // P1: link-candidate qualification pass
+    kGen,          // P2: generation calendar
+    kInj,          // P2: injection
+    kWalk,         // P2: router walk (validate + commit decisions)
+    kCommit,       // P3: deferred arena commits + stat/trace flush
+    kBarrier,      // launch/await overhead around the parallel phases
+    kPhaseCount,
+  };
+
+  double sec[kPhaseCount] = {};
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o) noexcept {
+    for (int p = 0; p < kPhaseCount; ++p) sec[p] += o.sec[p];
+    return *this;
+  }
+  [[nodiscard]] double total() const noexcept {
+    double t = 0.0;
+    for (double s : sec) t += s;
+    return t;
+  }
+  /// Seconds the serial baton holds exclusively (P2 = gen + inj + walk).
+  [[nodiscard]] double serial() const noexcept {
+    return sec[kGen] + sec[kInj] + sec[kWalk];
+  }
+
+  static const char* phaseName(int p) noexcept;
+  /// "cards 0.993s linkq 0.210s gen 0.061s ..." — one line, for stderr.
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Scoped-ish phase stopwatch: `mark(p)` charges the time since the previous
+/// mark to phase `p` and restarts the clock. A null sink makes every call a
+/// cheap no-op, so instrumented code needs no compile-time guard.
+class PhaseClock {
+ public:
+  explicit PhaseClock(PhaseBreakdown* sink) noexcept : sink_(sink) {
+    if (sink_ != nullptr) last_ = std::chrono::steady_clock::now();
+  }
+  void mark(PhaseBreakdown::Phase p) noexcept {
+    if (sink_ == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    sink_->sec[p] += std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+  }
+  /// Restart the clock without charging anyone (skip untimed stretches).
+  void reset() noexcept {
+    if (sink_ != nullptr) last_ = std::chrono::steady_clock::now();
+  }
+  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+
+ private:
+  PhaseBreakdown* sink_;
+  std::chrono::steady_clock::time_point last_{};
 };
 
 /// Aggregate result of one simulation run.

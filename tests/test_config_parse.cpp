@@ -74,6 +74,20 @@ TEST(ConfigParse, HotspotFractionRoundTrip) {
   EXPECT_THROW(parse({"hotspot_fraction=lots"}), std::invalid_argument);
 }
 
+TEST(ConfigParse, EngineThreadsAndPhaseTimers) {
+  EXPECT_EQ(SimConfig{}.engine, parse({}).engine);
+  EXPECT_EQ(parse({"engine=dense"}).engine, EngineKind::Dense);
+  EXPECT_EQ(parse({"engine=sparse"}).engine, EngineKind::Sparse);
+  EXPECT_EQ(parse({"engine=sparse-mt"}).engine, EngineKind::SparseMt);
+  EXPECT_EQ(parse({"sim_threads=5"}).simThreads, 5);
+  EXPECT_FALSE(parse({}).phaseTimers);
+  EXPECT_TRUE(parse({"phase_timers=1"}).phaseTimers);
+  EXPECT_FALSE(parse({"phase_timers=0"}).phaseTimers);
+  EXPECT_THROW(parse({"engine=turbo"}), std::invalid_argument);
+  EXPECT_THROW(parse({"sim_threads=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"phase_timers=yes"}), std::invalid_argument);
+}
+
 TEST(ConfigParse, RegionWithAnchor) {
   const SimConfig cfg = parse({"k=8", "n=2", "region=U:4x3@2,5"});
   ASSERT_EQ(cfg.faults.regions.size(), 1u);

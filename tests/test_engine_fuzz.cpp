@@ -6,9 +6,9 @@
 // the full configuration space (topology size and dimensionality, VC counts,
 // buffer depths, routing mode, every traffic pattern, fault counts, router
 // decision time, message lengths, injection rates) and runs each under all
-// three engines to completion — dense, sparse, and sparse-mt with a
-// sim_threads axis cycling {1, 2, 3, 8} — requiring bit-identical
-// SimResults: exact double equality, no tolerance.
+// three engines to completion — dense, sparse, and sparse-mt twice, with
+// sim_threads axes cycling {1, 2, 3, 8} and {2, 5, 8} — requiring
+// bit-identical SimResults: exact double equality, no tolerance.
 //
 // On a mismatch the failing point is printed as a ready-to-paste
 // `swft_sim`-style key=value string (the config_parse.hpp grammar) so a
@@ -190,6 +190,19 @@ TEST(EngineFuzz, SparseMatchesDenseOnRandomConfigs) {
     expectIdentical(mt, dense,
                     repro + " engine=sparse-mt sim_threads=" +
                         std::to_string(simThreads));
+    // Fourth engine-config rotation: a second sparse-mt run on an offset
+    // axis so every point also runs a genuinely multi-domain split — the
+    // {2, 5, 8} axis has no single-domain slot and its prime 5-way partition
+    // never divides the common even tori, forcing uneven domains with
+    // candidate cards on both sides of every boundary.
+    constexpr int kThreadAxis2[] = {2, 5, 8};
+    const int simThreads2 =
+        kThreadAxis2[i % (sizeof(kThreadAxis2) / sizeof(kThreadAxis2[0]))];
+    cfg.simThreads = simThreads2;
+    const SimResult mt2 = runSimulation(cfg);
+    expectIdentical(mt2, dense,
+                    repro + " engine=sparse-mt sim_threads=" +
+                        std::to_string(simThreads2));
     ++ran;
     totalDelivered += dense.deliveredMeasured;
     if (dense.completed) ++completedRuns;

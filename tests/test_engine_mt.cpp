@@ -141,6 +141,69 @@ TEST(MtEdgeCases, ThreadCountExceedingNodesClampsToOnePerNode) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Candidate-card staleness. P1 qualifies link candidates against a
+// start-of-cycle credit snapshot; the baton must catch every way that
+// snapshot can go stale before the carded router's turn. Each test below
+// drives one invalidation trigger hard and checks bit-identity against the
+// serial sparse engine.
+
+TEST(MtEdgeCases, DepthOneBuffersCreditFreedByEarlierRouterMidBaton) {
+  // bufferDepth=1 makes every occupied buffer snapshot-full: a candidate that
+  // P1 marked credit-blocked becomes eligible the moment an earlier-id router
+  // pops the single slot downstream, so almost every movement rides the wake
+  // stamp. A wake that is dropped (stale card used) or double-applied shows
+  // up immediately as a latency/hop divergence.
+  SimConfig cfg = smallTorus();
+  cfg.bufferDepth = 1;
+  cfg.injectionRate = 0.08;  // saturate: keep the wake path hot all run
+  const SimResult sparse = runMt(cfg, 0);
+  EXPECT_TRUE(sparse.completed);
+  for (int t : {2, 3, 9}) {
+    SCOPED_TRACE("sim_threads=" + std::to_string(t));
+    expectIdentical(sparse, runMt(cfg, t));
+  }
+}
+
+TEST(MtEdgeCases, FoldInLandingOnCardedRouterAtHighRate) {
+  // Short messages at high rate: headers dominate the flit mix, so routers
+  // constantly fold freshly-arrived headers into neighbours that already
+  // carry a P1 card for this cycle. The baton must re-qualify exactly the
+  // fold-touched routers and leave every other card intact.
+  SimConfig cfg = smallTorus();
+  cfg.messageLength = 2;     // header-heavy traffic maximises fold-ins
+  cfg.injectionRate = 0.1;
+  cfg.measuredMessages = 500;
+  const SimResult sparse = runMt(cfg, 0);
+  EXPECT_TRUE(sparse.completed);
+  for (int t : {2, 4, 9}) {
+    SCOPED_TRACE("sim_threads=" + std::to_string(t));
+    expectIdentical(sparse, runMt(cfg, t));
+  }
+}
+
+TEST(MtEdgeCases, OneWideDomainsAtSaturation) {
+  // The partition corner and the load corner together: every domain is one
+  // router wide (every push crosses a boundary and defers to P3) while the
+  // network runs saturated, so staged commit spans, cross-domain re-queues
+  // and wake stamps all fire on every single baton pass.
+  SimConfig cfg = smallTorus();
+  cfg.injectionRate = 0.12;
+  const SimResult sparse = runMt(cfg, 0);
+  EXPECT_TRUE(sparse.completed);
+  expectIdentical(sparse, runMt(cfg, 9));
+}
+
+TEST(MtEdgeCases, PhaseTimersDoNotPerturbResults) {
+  // phase_timers=1 only adds wall-clock bookkeeping; results must stay
+  // bit-identical with the flag on, for both the serial and the mt engine.
+  SimConfig plain = smallTorus();
+  SimConfig timed = smallTorus();
+  timed.phaseTimers = true;
+  expectIdentical(runMt(plain, 0), runMt(timed, 0));
+  expectIdentical(runMt(plain, 3), runMt(timed, 3));
+}
+
 TEST(MtEdgeCases, FaultyRingWithDecisionTime) {
   // 1-D ring with faults, software-layer reinjection and td > 0: header
   // arrival stamps and absorption all land on domain boundaries when the

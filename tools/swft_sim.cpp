@@ -21,7 +21,7 @@ void printUsage() {
       "usage: swft_sim [--csv] key=value...\n"
       "keys: k n vcs escape_vcs buffer_depth msg_length rate routing traffic\n"
       "      hotspot_fraction delta td nf region warmup measured max_cycles\n"
-      "      seed livelock_threshold engine\n"
+      "      seed livelock_threshold engine sim_threads phase_timers\n"
       "examples:\n"
       "  swft_sim k=8 n=3 vcs=10 rate=0.007 routing=adaptive nf=12\n"
       "  swft_sim k=8 n=2 region=U:4x3@2,2 routing=det rate=0.004\n"
@@ -54,8 +54,9 @@ int main(int argc, char** argv) {
   }
 
   try {
-    swft::Network net(cfg);
-    const swft::SimResult r = net.run();
+    // runSimulation (not a bare Network::run) so phase_timers=1 reports its
+    // per-slot breakdown on stderr.
+    const swft::SimResult r = swft::runSimulation(cfg);
 
     if (csv) {
       swft::SweepRow row;
