@@ -46,7 +46,9 @@
 
 #include "src/harness/result_cache.hpp"
 #include "src/sim/config_parse.hpp"
+#include "src/sim/link_qual.hpp"
 #include "src/sim/network.hpp"
+#include "src/util/simd.hpp"
 #include "src/verify/cdg.hpp"
 
 using namespace swft;
@@ -160,6 +162,74 @@ void BM_LinkBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_LinkBatch)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_Qualify(benchmark::State& state) {
+  // The link-qualification pass in isolation on a synthetic saturated
+  // 5-port V=10 router (the `saturation` operating-point router shape,
+  // 50 units): arg 0 = the pre-bitmap per-candidate loop (route-word
+  // gather + arrival compare + downstream size probe per live unit),
+  // arg 1 = the arena-bitmap pass with the SIMD port sweep forced scalar,
+  // arg 2 = the bitmap pass with the vector sweep.
+  constexpr int kPorts = 5, kVcs = 10, kDepth = 4;
+  RouterArena a(2, kPorts, kPorts - 1, kVcs, kDepth);
+  const int units = a.unitsPerRouter();
+  // Node 0 is the router under test; spread its routed units across all
+  // ports (ejection = port 4 targets the credit sink), downstream rows on
+  // node 1, with every third downstream full so the credit axis is live.
+  for (int u = 0; u < units; ++u) {
+    a.push(0, u, Flit{static_cast<MsgId>(u), FlitKind::Body}, 0);
+    const int port = u % kPorts;
+    const int vc = u / kPorts % kVcs;
+    const int du = port == kPorts - 1 ? a.creditSinkBase() + vc
+                                      : a.unitIndex(1, port, vc);
+    a.allocateRoute(0, u, port, vc, du);
+    if (port != kPorts - 1 && u % 3 == 0) {
+      for (int d = 0; d < kDepth; ++d) {
+        a.push(1, du, Flit{static_cast<MsgId>(u), FlitKind::Body}, 0);
+      }
+    }
+  }
+  a.matureFreshness();  // mature: every front arrived before "cycle 1"
+  const std::uint64_t cycle = 1;
+  std::uint64_t okp[64];
+  if (state.range(0) == 0) {
+    const std::uint32_t* rw = a.routeRow(0);
+    const auto fullDepth = a.depth();
+    const int sink = a.creditSinkBase();
+    for (auto _ : state) {
+      for (int p = 0; p < kPorts; ++p) okp[p] = 0;
+      std::uint64_t pm = 0;
+      std::uint64_t m = a.occWords(0)[0] & a.routedWords(0)[0];
+      while (m != 0) {
+        const int u = std::countr_zero(m);
+        m &= m - 1;
+        const std::uint32_t r = rw[u];
+        const int port = RouterArena::wordOutPort(r);
+        const int down = port == kPorts - 1
+                             ? sink
+                             : a.unitIndex(1, port, 0);
+        const auto fresh = static_cast<std::uint64_t>(a.frontArrival(u) < cycle);
+        const auto cred = static_cast<std::uint64_t>(
+            a.size(down + RouterArena::wordOutVc(r)) != fullDepth);
+        const std::uint64_t q = fresh & cred;
+        okp[port] |= q << u;
+        pm |= q << port;
+      }
+      benchmark::DoNotOptimize(pm);
+      benchmark::DoNotOptimize(okp[0]);
+    }
+  } else {
+    const bool prev = simd::forceScalar();
+    simd::setForceScalar(state.range(0) == 1);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(qualifyLinkCandidates(a, 0, okp, kPorts));
+      benchmark::DoNotOptimize(okp[0]);
+    }
+    simd::setForceScalar(prev);
+  }
+  state.SetItemsProcessed(state.iterations() * units);
+}
+BENCHMARK(BM_Qualify)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CdgBuild(benchmark::State& state) {
   const TorusTopology topo(static_cast<int>(state.range(0)), 2);
@@ -454,6 +524,19 @@ double bestSelfSpeedup(const PointResult& r) {
   return best;
 }
 
+/// Compiler id + version, for the bench-metadata header.
+std::string compilerString() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#else
+  return "unknown";
+#endif
+}
+
 std::string resultsToJson(const std::vector<PointResult>& results) {
   std::ostringstream os;
   os.precision(1);
@@ -468,6 +551,14 @@ std::string resultsToJson(const std::vector<PointResult>& results) {
         "(mtN_parallel_fraction = 1 - serial baton time / total phase work), "
         "and record the best self-speedup over thread counts this machine's "
         "hardware_concurrency can host\",\n";
+  // Machine/toolchain metadata, so cross-machine comparisons of the numbers
+  // below are honest about what produced them.
+  os << "  \"simd_isa\": \"" << simd::isaName() << "\",\n";
+  os << "  \"simd_mode\": \""
+     << (simd::forceScalar() ? "scalar-forced" : "vector") << "\",\n";
+  os << "  \"compiler\": \"" << compilerString() << "\",\n";
+  os << "  \"hardware_concurrency\": "
+     << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
   os << "  \"points\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PointResult& r = results[i];

@@ -25,6 +25,7 @@
 #include "src/sim/engine_mt.hpp"
 #include "src/sim/link_qual.hpp"
 #include "src/sim/network.hpp"
+#include "src/util/simd.hpp"
 
 // Per-phase wall-clock breakdown is a *runtime* option now (`phase_timers=1`
 // on the swft_sim command line, `--phase-timers` on swft_bench): PhaseClock
@@ -34,10 +35,14 @@
 // Temporary event-count instrumentation (diagnostics only, off by default).
 #ifdef SWFT_EVENT_COUNTS
 #include <cstdio>
+#include <x86intrin.h>
 namespace {
 struct EventCounts {
   unsigned long long cycles = 0, routers = 0, phaseAUnits = 0, livePorts = 0,
                      okIters = 0, commits = 0, ejections = 0, ejCand = 0;
+  unsigned long long tPhaseA = 0, tQual = 0, tWinners = 0, tOther = 0;
+  unsigned long long tPop = 0, tPush = 0, tEject = 0;
+  unsigned long long tGen = 0, tInj = 0, tWalk = 0;
   ~EventCounts() {
     std::fprintf(stderr,
                  "event counts per cycle: routers %.2f phaseA %.2f livePorts "
@@ -46,12 +51,36 @@ struct EventCounts {
                  1.0 * livePorts / cycles, 1.0 * okIters / cycles,
                  1.0 * commits / cycles, 1.0 * ejCand / cycles,
                  1.0 * ejections / cycles);
+    std::fprintf(stderr,
+                 "tsc per cycle: phaseA %.0f qual %.0f winners %.0f other %.0f "
+                 "pop %.0f push %.0f eject %.0f\n",
+                 1.0 * tPhaseA / cycles, 1.0 * tQual / cycles,
+                 1.0 * tWinners / cycles, 1.0 * tOther / cycles,
+                 1.0 * tPop / cycles, 1.0 * tPush / cycles,
+                 1.0 * tEject / cycles);
+    std::fprintf(stderr, "tsc per cycle: gen %.0f inj %.0f walk %.0f\n",
+                 1.0 * tGen / cycles, 1.0 * tInj / cycles, 1.0 * tWalk / cycles);
   }
 } g_ec;
 }  // namespace
 #define SWFT_EC_ADD(field, n) g_ec.field += static_cast<unsigned long long>(n)
+#define SWFT_EC_TSC(field, stmt)                  \
+  do {                                            \
+    const unsigned long long t0_ = __rdtsc();     \
+    stmt;                                         \
+    g_ec.field += __rdtsc() - t0_;                \
+  } while (0)
+// Fine-grained (per-pop/push) pairs distort the enclosing buckets by the
+// rdtsc cost; enable them separately.
+#ifdef SWFT_EVENT_COUNTS_FINE
+#define SWFT_EC_TSC_F(field, stmt) SWFT_EC_TSC(field, stmt)
+#else
+#define SWFT_EC_TSC_F(field, stmt) stmt
+#endif
 #else
 #define SWFT_EC_ADD(field, n)
+#define SWFT_EC_TSC(field, stmt) stmt
+#define SWFT_EC_TSC_F(field, stmt) stmt
 #endif
 
 namespace swft {
@@ -80,17 +109,23 @@ void Network::advanceCycleSparse() {
   // generation sequence numbers match. Generation touches no injection
   // state of *other* nodes, so running all generations before all
   // injections is observationally identical to the dense gen/inj interleave.
-  for (NodeId id : calendar_.takeDue(cycle_)) {
+  SWFT_EC_TSC(tGen, for (NodeId id : calendar_.takeDue(cycle_)) {
     stepGeneration(id);
     const std::uint64_t next = nodes_[id].nextGenCycle;
     if (next != ~std::uint64_t{0}) calendar_.schedule(id, next);
-  }
+  });
 
   clock.mark(PhaseBreakdown::kGen);
   // Phase 1b: injection, only PEs with queued or streaming work, ascending.
   // stepInjection on a workless node is a no-op with no RNG draws, so the
   // conservative bitset (cleared lazily here) cannot change results.
-  for (std::size_t w = 0; w < nodeWork_.size(); ++w) {
+  // (stepInjection never marks work on other nodes, so the SIMD skip over
+  // zero words cannot miss a bit set mid-walk.)
+  SWFT_EC_TSC(tInj, for (std::size_t w = simd::findNonZero(nodeWork_.data(), 0,
+                                                           nodeWork_.size());
+                         w < nodeWork_.size();
+                         w = simd::findNonZero(nodeWork_.data(), w + 1,
+                                               nodeWork_.size())) {
     std::uint64_t bits = nodeWork_[w];
     while (bits) {
       const int b = std::countr_zero(bits);
@@ -98,7 +133,7 @@ void Network::advanceCycleSparse() {
       const auto id = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
       if (stepInjection(id)) nodeWork_[w] &= ~(1ULL << b);
     }
-  }
+  });
 
   clock.mark(PhaseBreakdown::kInj);
   // Phase 2+3: walk the live active set in the alternating sweep direction.
@@ -106,10 +141,17 @@ void Network::advanceCycleSparse() {
   // into a previously-empty buffer); the dense sweep visits such a router
   // if and only if it lies later in sweep order, so the walk re-reads the
   // current word after every step instead of iterating a stale snapshot.
+  // The SIMD scan to the next nonzero word is safe for the same reason the
+  // per-word re-read is: a mid-sweep activation the dense sweep would visit
+  // lies *later* in sweep order than the router that caused it, i.e. at or
+  // after the scan position; a word skipped as zero can only have gained
+  // bits the dense sweep would also skip this cycle.
   const std::vector<std::uint64_t>& active = arena_.activeWords();
   const bool forward = (cycle_ & 1) == 0;
-  if (forward) {
-    for (std::size_t w = 0; w < active.size(); ++w) {
+  SWFT_EC_TSC(tWalk, if (forward) {
+    for (std::size_t w = simd::findNonZero(active.data(), 0, active.size());
+         w < active.size();
+         w = simd::findNonZero(active.data(), w + 1, active.size())) {
       std::uint64_t bits = active[w];
       while (bits) {
         const int b = std::countr_zero(bits);
@@ -118,7 +160,9 @@ void Network::advanceCycleSparse() {
       }
     }
   } else {
-    for (std::size_t w = active.size(); w-- > 0;) {
+    for (std::size_t w = simd::findNonZeroDown(active.data(), active.size() - 1);
+         w != simd::kNone;
+         w = (w == 0) ? simd::kNone : simd::findNonZeroDown(active.data(), w - 1)) {
       std::uint64_t bits = active[w];
       while (bits) {
         const int b = 63 - std::countl_zero(bits);
@@ -126,7 +170,10 @@ void Network::advanceCycleSparse() {
         bits = active[w] & ((1ULL << b) - 1);
       }
     }
-  }
+  });
+  // Cycle-end boundary: mature the freshness snapshots (fronts pushed this
+  // cycle become eligible next cycle) after the last push/pop of the cycle.
+  SWFT_EC_TSC(tOther, arena_.matureFreshness());
   clock.mark(PhaseBreakdown::kWalk);
 }
 
@@ -264,7 +311,8 @@ void Network::applyRouteDecision(NodeId id, int unitIdx, MsgId msgId,
                                  const RouteDecision& decision) {
   switch (decision.kind) {
     case RouteDecision::Kind::Deliver:
-      arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0);
+      arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0,
+                           cachedDownBase(id, topo_.localPort()));
       return;
     case RouteDecision::Kind::Absorb: {
       // The required outgoing channel leads to a fault: eject here and hand
@@ -273,7 +321,8 @@ void Network::applyRouteDecision(NodeId id, int unitIdx, MsgId msgId,
       msg.blockedValid = true;
       msg.blockedDim = decision.blockedDim;
       msg.blockedDirStep = decision.blockedDirStep;
-      arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0);
+      arena_.allocateRoute(id, unitIdx, topo_.localPort(), 0,
+                           cachedDownBase(id, topo_.localPort()));
       return;
     }
     case RouteDecision::Kind::Forward:
@@ -301,7 +350,8 @@ void Network::applyRouteDecision(NodeId id, int unitIdx, MsgId msgId,
       free[engineRng_.uniform(static_cast<std::uint32_t>(free.size()))];
   const int outPort = pick / 16;
   const int outVc = pick % 16;
-  arena_.allocateRoute(id, unitIdx, outPort, outVc);
+  arena_.allocateRoute(id, unitIdx, outPort, outVc,
+                       cachedDownBase(id, outPort) + outVc);
   arena_.setOutOwner(id, outPort, outVc, static_cast<std::int16_t>(unitIdx));
 }
 
@@ -317,7 +367,7 @@ void Network::stepRouter(NodeId id) {
   // in ascending unit order. This is the only RNG-drawing part of a router
   // step, so the order must match the dense reference scan exactly.
   const std::uint64_t* routedW = arena_.routedWords(id);
-  {
+  SWFT_EC_TSC(tPhaseA, {
     for (int w = 0; w < occW; ++w) {
       std::uint64_t bits = occ[w] & ~routedW[w];
       while (bits) {
@@ -330,7 +380,7 @@ void Network::stepRouter(NodeId id) {
         routeHeader(id, unitIdx);
       }
     }
-  }
+  });
 
   // Phase B: the batched link pass. One pass per output link, ascending port
   // order with the ejection port last: the link's candidate set is a single
@@ -350,40 +400,30 @@ void Network::stepRouter(NodeId id) {
   // select-all-then-commit pass would read. The ejection port commits last
   // so software-layer RNG draws (absorption replanning) stay in the dense
   // engine's position in the stream.
-  const std::uint32_t* rw = arena_.routeRow(routerBase);
-  const auto fullDepth = static_cast<std::uint16_t>(arena_.depth());
-  const std::uint64_t* faRow = arena_.frontArrivalRow(routerBase);
-
   if (occW == 1) {
-    // Every router configuration with <= 64 input units. One branchless pass
-    // over the live units (occupied AND routed: exactly the union of every
-    // link's candidate set) qualifies each unit — front arrived before this
-    // cycle AND its downstream size row has credit; the ejection port's row
-    // is the arena's always-zero credit sink, so no unit needs a locality
-    // branch — and buckets the qualified bits per output port. Reading all
+    // Every router configuration with <= 64 input units. Qualification is
+    // three row loads and two word ANDs against the arena's incrementally
+    // maintained bitmaps — ok = fresh & downOk (freshness and mapped
+    // downstream credit, each a superset-pruned subset of live), bucketed
+    // per output port by the SIMD membership sweep. Reading all
     // qualifications from pre-commit state is legal by the non-interference
     // argument above: no commit on port p changes port q's candidates, their
-    // arrival stamps, or their downstream credit line.
-    const std::uint64_t live = occ[0] & routedW[0];
-    SWFT_EC_ADD(okIters, std::popcount(live));
-    // Qualified-candidate mask per output port. occW == 1 bounds the unit
-    // count by 64 and hence the port count by 64 / vcs; only the live range
-    // is zeroed (a short, trip-predictable loop). The pass itself lives in
-    // link_qual.hpp, shared with the sparse-mt engine's P1 precomputation.
+    // arrival stamps, or their downstream credit line. occW == 1 bounds the
+    // unit count by 64 and hence the port count by 64 / vcs. The pass lives
+    // in link_qual.hpp, shared with the sparse-mt engine's P1
+    // precomputation, and owns the okp rows outright (no zeroing prelude).
     std::uint64_t okp[64];
-    for (int p = 0; p <= localPort; ++p) okp[p] = 0;
-    std::uint64_t pm = qualifyLinkCandidates<false>(
-        live, rw, faRow, cycle_, okp, [&](int port, std::uint32_t r) {
-          return arena_.sizeRow(cachedDownBase(id, port))
-                     [RouterArena::wordOutVc(r)] != fullDepth;
-        });
+    std::uint64_t pm;
+    SWFT_EC_TSC(tQual,
+                pm = qualifyLinkCandidates(arena_, id, okp, localPort + 1));
+    SWFT_EC_ADD(okIters, std::popcount(occ[0] & routedW[0]));
     // Commit winners in ascending port order, ejection (the highest port)
     // last. Per port, the first qualified bit in circular round-robin order
     // from the cursor is picked with one rotate: rotr moves bit u to
     // (u - cur) mod 64, so the lowest rotated bit is exactly the min-key
     // winner of the dense reference's scan.
     const int unitCount = arena_.unitsPerRouter();
-    while (pm != 0) {
+    SWFT_EC_TSC(tWinners, while (pm != 0) {
       SWFT_EC_ADD(livePorts, 1);
       const int port = std::countr_zero(pm);
       pm &= pm - 1;
@@ -395,24 +435,26 @@ void Network::stepRouter(NodeId id) {
                          static_cast<std::uint16_t>(
                              winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
         SWFT_EC_ADD(ejections, 1);
-        ejectFlit(id, winnerIdx);
+        SWFT_EC_TSC_F(tEject, ejectFlit(id, winnerIdx));
       } else {
         SWFT_EC_ADD(commits, 1);
         commitLink(id, port, winnerIdx);
       }
-    }
+    });
     return;
   }
 
   // Generic multi-word path (routers with more than 64 input units, e.g. a
   // 3-cube with V = 10): same per-link batching, candidate words walked
-  // circularly from the cursor word.
+  // circularly from the cursor word, qualified by the same bitmap ANDs as
+  // the one-word fast path (fresh & downOk; membership plays the role of
+  // the request mask).
   const int unitCount = arena_.unitsPerRouter();
+  const std::uint64_t* freshW = arena_.freshWords(id);
+  const std::uint64_t* downOkW = arena_.downOkWords(id);
   for (int port = 0; port <= localPort; ++port) {
-    const std::uint64_t* req = arena_.requestWords(id, port);
+    const std::uint64_t* req = arena_.portMembers(id, port);
     const bool isLocal = port == localPort;
-    const std::uint16_t* downSizes =
-        isLocal ? nullptr : arena_.sizeRow(cachedDownBase(id, port));
     const int cur = arena_.cursor(id, port);
     const int cw = cur >> 6;
     const int cb = cur & 63;
@@ -420,22 +462,13 @@ void Network::stepRouter(NodeId id) {
     for (int k = 0; k <= occW && winnerIdx < 0; ++k) {
       int w = cw + k;
       if (w >= occW) w -= occW;
-      std::uint64_t m = req[w] & occ[w];
+      std::uint64_t m = req[w] & freshW[w] & downOkW[w];
       if (k == 0) {
         m &= ~0ULL << cb;
       } else if (k == occW) {
         m &= (cb == 0) ? 0 : ((1ULL << cb) - 1);  // wrapped tail of cursor word
       }
-      while (m != 0) {
-        const int u = w * 64 + std::countr_zero(m);
-        m &= m - 1;
-        if (faRow[u] >= cycle_) continue;  // front arrived this cycle
-        if (!isLocal && downSizes[RouterArena::wordOutVc(rw[u])] == fullDepth) {
-          continue;  // no downstream credit
-        }
-        winnerIdx = u;
-        break;
-      }
+      if (m != 0) winnerIdx = w * 64 + std::countr_zero(m);
     }
     if (winnerIdx < 0) continue;
     if (isLocal) {
@@ -456,7 +489,8 @@ inline void Network::commitLink(NodeId id, int port, int winnerIdx) {
                        winnerIdx + 1 == unitCount ? 0 : winnerIdx + 1));
   const int g = arena_.base(id) + winnerIdx;
   const int outVc = arena_.outVc(g);
-  const Flit flit = arena_.pop(id, g, cycle_);
+  Flit flit;
+  SWFT_EC_TSC_F(tPop, flit = arena_.pop(id, g, cycle_));
   lastMovementCycle_ = cycle_;
   // Draining an injection unit re-arms the owning PE: it may have been
   // parked by stepInjection while this buffer was full.
@@ -473,8 +507,9 @@ inline void Network::commitLink(NodeId id, int port, int winnerIdx) {
                  static_cast<std::uint8_t>(port), msg.seq});
     }
   }
-  arena_.push(cachedNeighbor(id, port), cachedDownBase(id, port) + outVc, flit,
-              cycle_);
+  SWFT_EC_TSC_F(tPush, arena_.push(cachedNeighbor(id, port),
+                                 cachedDownBase(id, port) + outVc, flit,
+                                 cycle_));
 
   if (flit.isTail()) {
     arena_.releaseRoute(id, winnerIdx);

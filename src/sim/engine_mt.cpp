@@ -161,6 +161,9 @@ void MtEngine::advanceCycle() {
     resetSizeDeltas();
     applyCommands(0);
     if (net_.trace_ != nullptr) traceStage_.flushTo(*net_.trace_);
+    // Cycle-end boundary: mature the freshness snapshots after the last
+    // push/pop so next cycle's P1 reads fully matured rows.
+    net_.arena_.matureFreshness();
     clock.mark(PhaseBreakdown::kCommit);
     return;
   }
@@ -188,6 +191,10 @@ void MtEngine::advanceCycle() {
   if (net_.trace_ != nullptr) traceStage_.flushTo(*net_.trace_);
   clock.mark(PhaseBreakdown::kCommit);
   awaitWorkers();
+  // Cycle-end boundary: the P3 join published every worker's pushes and
+  // pops, so the occupancy words are final — mature the freshness snapshots
+  // on this thread for next cycle's P1.
+  net_.arena_.matureFreshness();
   clock.mark(PhaseBreakdown::kBarrier);
 }
 
@@ -271,22 +278,18 @@ void MtEngine::buildLinkCards(int d) {
       std::uint64_t* okp = lqOk_.data() +
                            static_cast<std::size_t>(id) *
                                static_cast<std::size_t>(lqPorts_);
-      for (int p = 0; p < lqPorts_; ++p) okp[p] = 0;
       // P1 runs against the post-commit arena with every sizeDelta_ zero,
-      // so the snapshot credit probe is a plain arena size read — the same
-      // probe the sparse engine makes. The freshness check is vacuously
-      // true here (every front arrived in an earlier cycle), so the blocked
-      // word is exactly the credit-starved candidate set.
+      // so the incremental bitmaps *are* the snapshot: last cycle's
+      // matureFreshness() left fresh == occ (every front arrived in an
+      // earlier cycle), and downOk_ carries each candidate's downstream
+      // credit.
+      // The blocked word is exactly the credit-starved candidate set, which
+      // the baton re-checks against virtual credits. The pass assigns the
+      // okp rows (no zeroing prelude).
       std::uint64_t* meta = lqMeta_ + static_cast<std::size_t>(id) * kMStride;
       std::uint64_t blocked = 0;
-      const std::uint64_t pm = qualifyLinkCandidates<true>(
-          live, a.routeRow(routerBase), a.frontArrivalRow(routerBase), cycle,
-          okp,
-          [&](int port, std::uint32_t r) {
-            return a.sizeRow(n.cachedDownBase(id, port))
-                       [RouterArena::wordOutVc(r)] != fullDepth;
-          },
-          &blocked);
+      const std::uint64_t pm =
+          qualifyLinkCandidates(a, id, okp, lqPorts_, &blocked);
       // Resolve each port's round-robin winner now: the cursor is only
       // written at the owning router's baton turn, so the value P1 reads is
       // the value the turn would read, and qualified candidates never drop
@@ -580,7 +583,6 @@ void MtEngine::stepRouterMt(NodeId id) {
   // still clear), and eager injection pushes carry this cycle's arrival
   // stamp, failing freshness exactly as in the dense engine.
   const std::uint32_t* rw = a.routeRow(routerBase);
-  const std::uint64_t* faRow = a.frontArrivalRow(routerBase);
 
   if (occW == 1) {
     std::uint64_t okpLocal[64];
@@ -689,7 +691,7 @@ void MtEngine::stepRouterMt(NodeId id) {
       const std::int32_t du =
           n.cachedDownBase(id, port) + RouterArena::wordOutVc(r);
       const auto q = static_cast<std::uint64_t>(
-          (faRow[u] < cycle) & creditAvailable(du));
+          (a.frontArrival(routerBase + u) < cycle) & creditAvailable(du));
       okp[port] |= q << u;
       pm |= q << port;
     }
@@ -714,7 +716,7 @@ void MtEngine::stepRouterMt(NodeId id) {
   // Generic multi-word path (> 64 input units per router).
   const int unitCount = a.unitsPerRouter();
   for (int port = 0; port <= localPort; ++port) {
-    const std::uint64_t* req = a.requestWords(id, port);
+    const std::uint64_t* req = a.portMembers(id, port);
     const std::int32_t downBase = n.cachedDownBase(id, port);
     const int cur = a.cursor(id, port);
     const int cw = cur >> 6;
@@ -732,7 +734,7 @@ void MtEngine::stepRouterMt(NodeId id) {
       while (m != 0) {
         const int u = w * 64 + std::countr_zero(m);
         m &= m - 1;
-        if (faRow[u] >= cycle) continue;  // front arrived this cycle
+        if (a.frontArrival(routerBase + u) >= cycle) continue;  // front arrived this cycle
         if (!creditAvailable(downBase + RouterArena::wordOutVc(rw[u]))) continue;
         winnerIdx = u;
         break;

@@ -1,63 +1,57 @@
-// The branchless link-candidate qualification pass shared by the sparse
-// engine's batched link traversal (engine.cpp, PR 5) and the sparse-mt
-// engine's parallel candidate-card precomputation (engine_mt.cpp).
+// The link-candidate qualification pass shared by the sparse engine's
+// batched link traversal (engine.cpp, PR 5) and the sparse-mt engine's
+// parallel candidate-card precomputation (engine_mt.cpp).
 //
-// Given one router's live mask (occupied AND routed: the union of every
-// output link's candidate set, occW == 1 configurations only), the pass
-// qualifies each candidate — front flit arrived strictly before this cycle
-// AND the downstream unit has credit — and buckets the qualified bits per
-// output port. The credit probe is a callable so the two engines can plug in
-// their own authority: the sparse engine reads arena sizes directly, the mt
-// engine's P1 pass reads the start-of-cycle snapshot (arena sizes with all
-// deltas zero) while its baton validates against virtual sizes
-// (size_ + sizeDelta_).
+// Since the arena keeps freshness, downstream credit and port membership as
+// incrementally-maintained bitmaps (router_arena.hpp, DESIGN.md §8), the
+// pass is pure word arithmetic — no per-candidate loop, no credit callable:
 //
-// With kTrackBlocked, candidates that are fresh but credit-starved are
-// reported in *blockedOut. The mt baton re-checks exactly those bits against
-// virtual credits: a card candidate's credit can only *improve* before its
-// router's baton turn (pops by earlier routers free slots; the only pusher
-// into its downstream unit is this router itself, by output-VC ownership),
-// so qualified-at-snapshot candidates never need re-checking — see
-// DESIGN.md §6.
+//   ok          = fresh & downOk            (fresh ⊆ occ, downOk ⊆ routed,
+//                                            so no extra live AND is needed)
+//   okp[port]   = ok & portMembers[port]    (SIMD sweep over the contiguous
+//                                            per-port membership rows)
+//   blocked     = fresh & routed & ~downOk  (optional: candidates stalled
+//                                            only on credit)
+//
+// The mt engine consumes `blocked` at P1: its baton re-checks exactly those
+// bits against virtual credits (size_ + sizeDelta_), keeping the callable
+// form off the fast path. A card candidate's credit can only *improve*
+// before its router's baton turn (pops by earlier routers free slots; the
+// only pusher into its downstream unit is this router itself, by output-VC
+// ownership), so qualified-at-snapshot candidates never need re-checking —
+// see DESIGN.md §6.
+//
+// The pass *assigns* okp[0..ports) — callers need no zeroing prelude.
+// occW == 1 configurations only (the generic multi-word path ANDs the same
+// rows word-by-word in the engines).
 #pragma once
 
-#include <bit>
+#include <cassert>
 #include <cstdint>
 
 #include "src/sim/router_arena.hpp"
+#include "src/util/simd.hpp"
 
 namespace swft {
 
-/// One pass over `live` (unit bitmask, <= 64 units): qualified candidate
-/// bits land in okp[port], the returned mask has bit `port` set iff the port
-/// has at least one qualified candidate. `credit(port, routeWord)` must
-/// return 1 when the candidate's downstream unit can accept a flit (the
-/// ejection port's probe reads the arena's always-zero credit sink, so no
-/// candidate needs a locality branch). okp rows [0, maxPort] must be zeroed
-/// by the caller.
-template <bool kTrackBlocked, typename CreditFn>
+/// One pass over router `id`'s qualification bitmaps: qualified candidate
+/// bits land in okp[port] (all `ports` rows assigned), and the returned mask
+/// has bit `port` set iff the port has at least one qualified candidate.
+/// When `blockedOut` is non-null it receives the fresh-but-credit-starved
+/// candidate bits. The ejection port's downstream is the arena's credit
+/// sink, whose creditOk_ bits are pinned set, so no candidate needs a
+/// locality branch.
 [[gnu::always_inline]] inline std::uint64_t qualifyLinkCandidates(
-    std::uint64_t live, const std::uint32_t* routeRow,
-    const std::uint64_t* frontArrivalRow, std::uint64_t cycle,
-    std::uint64_t* okp, CreditFn&& credit,
+    const RouterArena& a, NodeId id, std::uint64_t* okp, int ports,
     std::uint64_t* blockedOut = nullptr) {
-  std::uint64_t pm = 0;
-  std::uint64_t blocked = 0;
-  std::uint64_t m = live;
-  while (m != 0) {
-    const int u = std::countr_zero(m);
-    m &= m - 1;
-    const std::uint32_t r = routeRow[u];
-    const int port = RouterArena::wordOutPort(r);
-    const auto fresh = static_cast<std::uint64_t>(frontArrivalRow[u] < cycle);
-    const auto cred = static_cast<std::uint64_t>(credit(port, r));
-    const std::uint64_t q = fresh & cred;
-    okp[port] |= q << u;
-    pm |= q << port;
-    if constexpr (kTrackBlocked) blocked |= (fresh & (cred ^ 1u)) << u;
+  assert(a.occWordsPerRouter() == 1);
+  const std::uint64_t fresh = a.freshWords(id)[0];
+  const std::uint64_t downOk = a.downOkWords(id)[0];
+  const std::uint64_t ok = fresh & downOk;
+  if (blockedOut != nullptr) {
+    *blockedOut = fresh & a.routedWords(id)[0] & ~downOk;
   }
-  if constexpr (kTrackBlocked) *blockedOut = blocked;
-  return pm;
+  return simd::qualifyPorts(ok, a.portMembers(id, 0), okp, ports);
 }
 
 }  // namespace swft

@@ -241,6 +241,15 @@ std::string Network::validateInvariants() const {
 std::string Network::validateArenaRouters() const {
   const int vcs = cfg_.vcs;
   const int unitCount = arena_.unitsPerRouter();
+  // 0. The incremental qualification bitmaps (fresh/creditOk/downOk/
+  //    portMembers and the feeder edges) match a from-scratch recomputation
+  //    from scalar state. Between cycles the freshness masks were last
+  //    maintained against the cycle that just executed.
+  if (std::string err =
+          arena_.auditMasks(cycle_ == 0 ? 0 : cycle_ - 1);
+      !err.empty()) {
+    return err;
+  }
   for (NodeId id = 0; id < topo_.nodeCount(); ++id) {
     const std::uint64_t* occ = arena_.occWords(id);
     // 1. Occupancy bits, the occupied-unit count and the network-level
@@ -297,7 +306,7 @@ std::string Network::validateArenaRouters() const {
                std::to_string(u);
       }
       for (int port = 0; port < topo_.totalPorts(); ++port) {
-        const bool reqBit = (arena_.requestWords(id, port)[u >> 6] >> (u & 63)) & 1u;
+        const bool reqBit = (arena_.portMembers(id, port)[u >> 6] >> (u & 63)) & 1u;
         const bool expected = arena_.routed(g) && arena_.outPort(g) == port;
         if (reqBit != expected) {
           return "request-mask mismatch at node " + std::to_string(id) + " unit " +

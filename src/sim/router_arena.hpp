@@ -17,12 +17,37 @@
 // occupied input unit) that the event-sparse engine walks with countr_zero;
 // push/pop keep the per-router occupancy words, the occupied-unit count and
 // the active bit consistent so the engine cannot desynchronise them.
+//
+// On top of occupancy the arena maintains three derived bitmap families so
+// link qualification is a handful of word ANDs instead of per-candidate
+// probes (see DESIGN.md §8 for the invariants and equivalence argument):
+//
+//   fresh_   bit per unit: the router's occupancy word as of the last cycle
+//            boundary. "Occupied at the boundary" is exactly "front arrived
+//            strictly before the executing cycle": every buffered front
+//            arrived in some earlier cycle at a boundary, and nothing reads a
+//            router's fresh row between its own mid-cycle pops and the next
+//            maturation. Push/pop therefore never touch fresh — they mark the
+//            router's freshDirty_ byte, and matureFreshness() (the cycle-end
+//            boundary sweep) copies fresh = occ for each dirty router.
+//   creditOk_ bit per unit (global, plus the credit-sink row pinned to 1):
+//            size < depth. Flipped only when a push/pop crosses the depth
+//            boundary.
+//   downOk_  bit per unit: routed AND creditOk_[routeDown_[u]] — the credit
+//            state of a unit's downstream target, mapped back through the
+//            link so qualification reads it as a router-local row. A depth
+//            crossing at unit d forwards the flip to d's unique feeder
+//            (feeder_[d], the upstream unit routed onto d; uniqueness is
+//            output-VC ownership).
+//   portMembers_ bit per (router, port, unit): routed with outPort == port.
+//            Written exactly where route words are written/cleared.
 #pragma once
 
 #include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/router/flit.hpp"
@@ -63,39 +88,28 @@ class RouterArena {
   }
 
   // --- flit buffers (by global unit index) ----------------------------------
-  [[nodiscard]] bool empty(int u) const noexcept { return size_[u] == 0; }
-  [[nodiscard]] bool full(int u) const noexcept { return size_[u] == depth_; }
-  [[nodiscard]] int size(int u) const noexcept { return size_[u]; }
+  [[nodiscard]] bool empty(int u) const noexcept { return meta_[u].size == 0; }
+  [[nodiscard]] bool full(int u) const noexcept { return meta_[u].size == depth_; }
+  [[nodiscard]] int size(int u) const noexcept { return meta_[u].size; }
   [[nodiscard]] const Flit& front(int u) const noexcept {
-    return flit_[slot(u, head_[u])];
+    return flit_[slot(u, meta_[u].head)];
   }
-  /// Arrival stamp of the front flit, mirrored in its own dense array: the
-  /// per-cycle eligibility checks (`departed-this-cycle`, Td) hit it far
-  /// more often than push/pop update it.
+  /// Arrival stamp of the front flit, kept beside the ring head/size: the
+  /// per-cycle eligibility checks (`departed-this-cycle`, Td) and the push/
+  /// pop updates hit the same packed record.
   [[nodiscard]] std::uint64_t frontArrival(int u) const noexcept {
-    return frontArrival_[u];
+    return meta_[u].frontArrival;
   }
   /// i-th buffered flit from the front (introspection/validation).
   [[nodiscard]] const Flit& flitAt(int u, int i) const noexcept {
-    return flit_[slot(u, (head_[u] + i) & strideMask_)];
+    return flit_[slot(u, (meta_[u].head + i) & strideMask_)];
   }
 
-  // --- raw SoA rows (hoists for the batched link pass) ----------------------
-  // The batched switch-allocation pass in engine.cpp touches these arrays
-  // once per candidate; exposing the row base lets it hoist the address
-  // arithmetic (and, for `sizeRow`, the whole downstream credit line of a
-  // link — V contiguous uint16 sizes) out of the per-candidate probe.
-  [[nodiscard]] const std::uint64_t* frontArrivalRow(int u) const noexcept {
-    return frontArrival_.data() + u;
-  }
   [[nodiscard]] const std::uint32_t* routeRow(int u) const noexcept {
     return route_.data() + u;
   }
-  [[nodiscard]] const std::uint16_t* sizeRow(int u) const noexcept {
-    return size_.data() + u;
-  }
-  /// Base of the always-zero credit row appended past the real units (see
-  /// ctor): sizeRow(creditSinkBase()) never reports a full buffer.
+  /// Base of the always-empty credit row appended past the real units (see
+  /// ctor): size(creditSinkBase() + vc) never reports a full buffer.
   [[nodiscard]] int creditSinkBase() const noexcept {
     return nodes_ * unitsPerRouter_;
   }
@@ -151,13 +165,30 @@ class RouterArena {
   }
 
   /// The head message of unit `localUnit` at router `node` holds output
-  /// (port, vc) from now until `releaseRoute` (tail departure).
-  void allocateRoute(NodeId node, int localUnit, int port, int vc) noexcept {
-    route_[base(node) + localUnit] = 1u | (static_cast<std::uint32_t>(port) << 8) |
-                                     (static_cast<std::uint32_t>(vc) << 16);
+  /// (port, vc) from now until `releaseRoute` (tail departure). `downUnit`
+  /// is the global index of the downstream unit the allocation feeds (the
+  /// neighbour's input unit, or the credit sink for ejection); the arena
+  /// snapshots its credit state into downOk_ and registers the feedback
+  /// edge so later depth crossings at the downstream keep the bit live.
+  void allocateRoute(NodeId node, int localUnit, int port, int vc,
+                     int downUnit) noexcept {
+    const int g = base(node) + localUnit;
+    route_[g] = 1u | (static_cast<std::uint32_t>(port) << 8) |
+                (static_cast<std::uint32_t>(vc) << 16);
     const std::uint64_t bit = 1ULL << (localUnit & 63);
     routedMask_[maskIndex(node, localUnit)] |= bit;
-    request_[requestIndex(node, port, localUnit)] |= bit;
+    portMembers_[memberIndex(node, port, localUnit)] |= bit;
+    routeDown_[g] = downUnit;
+    assert((downOk_[maskIndex(node, localUnit)] & bit) == 0);
+    if ((creditOk_[static_cast<std::size_t>(downUnit) >> 6] >>
+         (downUnit & 63)) & 1u) {
+      downOk_[maskIndex(node, localUnit)] |= bit;
+    }
+    if (downUnit < creditSinkBase()) {
+      assert(feeder_[downUnit] < 0);
+      feeder_[downUnit] =
+          (static_cast<std::int64_t>(node) << 32) | localUnit;
+    }
   }
   void releaseRoute(NodeId node, int localUnit) noexcept {
     const int g = base(node) + localUnit;
@@ -165,7 +196,11 @@ class RouterArena {
     route_[g] &= ~1u;
     const std::uint64_t bit = 1ULL << (localUnit & 63);
     routedMask_[maskIndex(node, localUnit)] &= ~bit;
-    request_[requestIndex(node, port, localUnit)] &= ~bit;
+    portMembers_[memberIndex(node, port, localUnit)] &= ~bit;
+    downOk_[maskIndex(node, localUnit)] &= ~bit;
+    const int du = routeDown_[g];
+    routeDown_[g] = -1;
+    if (du >= 0 && du < creditSinkBase()) feeder_[du] = -1;
   }
 
   /// Bit per unit: currently routed (holds an output allocation).
@@ -173,13 +208,52 @@ class RouterArena {
     return routedMask_.data() +
            static_cast<std::size_t>(id) * static_cast<std::size_t>(occWords_);
   }
-  /// Bit per unit: routed with outPort == `port` (switch requesters).
-  [[nodiscard]] const std::uint64_t* requestWords(NodeId id, int port) const noexcept {
-    return request_.data() +
+  /// Bit per unit: routed with outPort == `port` (switch requesters). The
+  /// `ports` rows of a router are contiguous: with one occupancy word per
+  /// router, portMembers(id, 0) is the base of a dense ports x 1 matrix the
+  /// SIMD port sweep strides through.
+  [[nodiscard]] const std::uint64_t* portMembers(NodeId id, int port) const noexcept {
+    return portMembers_.data() +
            (static_cast<std::size_t>(id) * static_cast<std::size_t>(totalPorts_) +
             static_cast<std::size_t>(port)) *
                static_cast<std::size_t>(occWords_);
   }
+
+  // --- incremental qualification bitmaps ------------------------------------
+  /// Bit per unit: occupied as of the last cycle boundary, which is exactly
+  /// "front arrived strictly before the cycle being executed". Stale for a
+  /// router between its own mid-cycle pops and the next matureFreshness();
+  /// engines never read it there (see the fresh_ invariant in the header
+  /// comment).
+  [[nodiscard]] const std::uint64_t* freshWords(NodeId id) const noexcept {
+    return fresh_.data() +
+           static_cast<std::size_t>(id) * static_cast<std::size_t>(occWords_);
+  }
+  /// Bit per unit: routed and the downstream target has a credit.
+  [[nodiscard]] const std::uint64_t* downOkWords(NodeId id) const noexcept {
+    return downOk_.data() +
+           static_cast<std::size_t>(id) * static_cast<std::size_t>(occWords_);
+  }
+  /// Credit state of one global unit (tests/validation; the engines read
+  /// credit through downOkWords).
+  [[nodiscard]] bool creditOkBit(int u) const noexcept {
+    return ((creditOk_[static_cast<std::size_t>(u) >> 6] >> (u & 63)) & 1u) != 0;
+  }
+
+  /// Cycle-boundary maturation: for every router touched by a push or pop
+  /// since the last sweep (freshDirty_ byte set), fresh = occ — at a
+  /// boundary every occupied front arrived in some earlier cycle. Engines
+  /// run it once per cycle, after all pushes and pops, on one thread.
+  void matureFreshness() noexcept;
+
+  /// Recompute every derived bitmap from scalar state (sizes, route words,
+  /// front stamps) and diff against the incremental masks; returns "" or a
+  /// description of the first divergence. `freshCycle` is the last executed
+  /// cycle (now() - 1 between cycles, 0 before the first cycle runs). Fresh
+  /// rows of routers with a pending dirty byte are skipped — they mature at
+  /// the next matureFreshness(); between engine cycles every row is clean,
+  /// so the oracle checks the full fresh == occ boundary invariant.
+  [[nodiscard]] std::string auditMasks(std::uint64_t freshCycle) const;
 
   // --- output-VC ownership (network ports only) -----------------------------
   /// Owner (input-unit index local to router `id`) of an output VC, -1 free.
@@ -222,8 +296,19 @@ class RouterArena {
   [[nodiscard]] const std::uint64_t* occWords(NodeId id) const noexcept {
     return occ_.data() + static_cast<std::size_t>(id) * static_cast<std::size_t>(occWords_);
   }
-  [[nodiscard]] int occupiedUnits(NodeId id) const noexcept { return occCount_[id]; }
-  [[nodiscard]] bool anyOccupied(NodeId id) const noexcept { return occCount_[id] != 0; }
+  [[nodiscard]] int occupiedUnits(NodeId id) const noexcept {
+    int n = 0;
+    const std::uint64_t* row = occWords(id);
+    for (int w = 0; w < occWords_; ++w) n += std::popcount(row[w]);
+    return n;
+  }
+  [[nodiscard]] bool anyOccupied(NodeId id) const noexcept {
+    const std::uint64_t* row = occWords(id);
+    for (int w = 0; w < occWords_; ++w) {
+      if (row[w] != 0) return true;
+    }
+    return false;
+  }
 
   /// Network-level active set: bit `id` set iff router `id` has any occupied
   /// input unit. Updated by push/pop; the sparse engine walks it live.
@@ -244,76 +329,160 @@ class RouterArena {
     return static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
            static_cast<std::size_t>(localUnit >> 6);
   }
-  [[nodiscard]] std::size_t requestIndex(NodeId node, int port,
-                                         int localUnit) const noexcept {
+  /// True when every occupancy word of `node`'s row except localUnit's own
+  /// is zero. Trivially true for single-word routers; only reached on the
+  /// rare all-but-this-word-empty paths of push/pop.
+  [[nodiscard]] bool rowOtherWordsZero(NodeId node, int localUnit) const noexcept {
+    const std::uint64_t* row =
+        occ_.data() + static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_);
+    const int own = localUnit >> 6;
+    for (int w = 0; w < occWords_; ++w) {
+      if (w != own && row[w] != 0) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::size_t memberIndex(NodeId node, int port,
+                                        int localUnit) const noexcept {
     return (static_cast<std::size_t>(node) * static_cast<std::size_t>(totalPorts_) +
             static_cast<std::size_t>(port)) *
                static_cast<std::size_t>(occWords_) +
            static_cast<std::size_t>(localUnit >> 6);
   }
 
+  /// A push/pop at unit `u` crossed the depth boundary: flip its creditOk_
+  /// bit and, when a routed upstream unit feeds it, that feeder's downOk_
+  /// bit. Under kAtomicActive both words may be shared with units another
+  /// domain is committing (creditOk_ packs adjacent routers into one word;
+  /// the feeder is a neighbour router, possibly cross-domain), so the RMWs
+  /// are atomic (relaxed: the phase barrier publishes). feeder_[u] itself is
+  /// only written by the serial phases, so the plain read does not race.
+  template <bool kAtomicActive>
+  void creditCrossed(int u, bool nowOk) noexcept {
+    const std::uint64_t cbit = 1ULL << (u & 63);
+    std::uint64_t& cw = creditOk_[static_cast<std::size_t>(u) >> 6];
+    if constexpr (kAtomicActive) {
+      if (nowOk) {
+        std::atomic_ref<std::uint64_t>(cw).fetch_or(cbit, std::memory_order_relaxed);
+      } else {
+        std::atomic_ref<std::uint64_t>(cw).fetch_and(~cbit, std::memory_order_relaxed);
+      }
+    } else {
+      if (nowOk) cw |= cbit; else cw &= ~cbit;
+    }
+    const std::int64_t f = feeder_[u];
+    if (f < 0) return;
+    const auto fNode = static_cast<NodeId>(f >> 32);
+    const int fLocal = static_cast<int>(f & 0x7FFFFFFF);
+    std::uint64_t& dw = downOk_[maskIndex(fNode, fLocal)];
+    const std::uint64_t dbit = 1ULL << (fLocal & 63);
+    if constexpr (kAtomicActive) {
+      if (nowOk) {
+        std::atomic_ref<std::uint64_t>(dw).fetch_or(dbit, std::memory_order_relaxed);
+      } else {
+        std::atomic_ref<std::uint64_t>(dw).fetch_and(~dbit, std::memory_order_relaxed);
+      }
+    } else {
+      if (nowOk) dw |= dbit; else dw &= ~dbit;
+    }
+  }
+
+  // push/pop are deliberately branch-poor. At the saturation knee buffer
+  // sizes oscillate around 0..2, so the was-empty / became-empty transitions
+  // are data-dependent coin flips a predictor cannot learn; every update
+  // below that depends on them is a mask or a conditional move, not a
+  // branch. The remaining branches are either engine constants
+  // (exactArrivals_) or rare and cheap to predict (depth crossings, whole-
+  // router active transitions). Neither touches fresh_: the row is a
+  // boundary snapshot nobody reads between a router's own pops and the next
+  // matureFreshness(), so both just mark the router's freshDirty_ byte —
+  // unconditionally, because a spurious mark only makes the sweep recopy a
+  // row that already equals its occupancy word.
   template <bool kAtomicActive>
   void pushImpl(NodeId node, int u, Flit f, std::uint64_t arrivalCycle) noexcept {
     assert(u >= base(node) && u < base(node) + unitsPerRouter_);
-    const int s = slot(u, (head_[u] + size_[u]) & strideMask_);
+    UnitMeta& m = meta_[u];
+    const std::uint16_t was = m.size;
+    const int s = slot(u, (m.head + was) & strideMask_);
     flit_[s] = f;
     if (exactArrivals_) {
       arrival_[s] = arrivalCycle;
     } else {
-      lastPush_[u] = arrivalCycle;
+      m.lastPush = arrivalCycle;
     }
-    if (size_[u]++ == 0) {
-      frontArrival_[u] = arrivalCycle;
-      markOccupied<kAtomicActive>(node, u);
-    }
+    m.size = static_cast<std::uint16_t>(was + 1);
+    const bool wasEmpty = was == 0;
+    // Only a push into an empty unit installs a new front; it matures at the
+    // next boundary sweep.
+    m.frontArrival = wasEmpty ? arrivalCycle : m.frontArrival;
+    const int local = u - base(node);
+    const std::uint64_t bit = 1ULL << (local & 63);
+    std::uint64_t& ow = occ_[maskIndex(node, local)];
+    const std::uint64_t before = ow;
+    ow = before | bit;  // idempotent when already occupied
+    freshDirty_[node] = 1;
+    // Active transition iff the whole row was zero. The unit's own word
+    // screens out almost every push with one already-loaded compare; the
+    // remaining words (none for <= 64-unit routers) hide behind the
+    // well-predicted rare branch.
+    if (before == 0 && rowOtherWordsZero(node, local)) activate<kAtomicActive>(node);
+    if (m.size == depth_) creditCrossed<kAtomicActive>(u, false);
   }
 
   template <bool kAtomicActive>
   Flit popImpl(NodeId node, int u, std::uint64_t now) noexcept {
     assert(u >= base(node) && u < base(node) + unitsPerRouter_);
-    const Flit f = flit_[slot(u, head_[u])];
-    head_[u] = static_cast<std::uint16_t>((head_[u] + 1) & strideMask_);
-    if (--size_[u] == 0) {
-      markEmpty<kAtomicActive>(node, u);
-      return f;
-    }
+    UnitMeta& m = meta_[u];
+    const Flit f = flit_[slot(u, m.head)];
+    m.head = static_cast<std::uint16_t>((m.head + 1) & strideMask_);
+    const bool wasFull = m.size == depth_;
+    const std::uint16_t left = static_cast<std::uint16_t>(m.size - 1);
+    m.size = left;
+    const int local = u - base(node);
+    const std::uint64_t fbit = 1ULL << (local & 63);
+    std::uint64_t fa;
     if (exactArrivals_) {
-      frontArrival_[u] = arrival_[slot(u, head_[u])];
-    } else if (size_[u] == 1) {
-      frontArrival_[u] = lastPush_[u];  // the survivor is the latest push
+      fa = arrival_[slot(u, m.head)];  // stale-but-unread when emptied
     } else {
-      assert(now > 0 && "inexact pop needs the popping cycle");
-      frontArrival_[u] = now - 1;  // arrived strictly before now; see ctor
+      // Freshness lemma: a lone survivor is the latest push; >= 2 survivors
+      // all arrived strictly before the popping cycle (see ctor comment).
+      assert(left <= 1 || now > 0);
+      fa = left == 1 ? m.lastPush : now - 1;
     }
+    m.frontArrival = fa;
+    freshDirty_[node] = 1;
+    const bool emptied = left == 0;
+    std::uint64_t& ow = occ_[maskIndex(node, local)];
+    const std::uint64_t after =
+        ow & ~(fbit & (0 - static_cast<std::uint64_t>(emptied)));
+    ow = after;
+    // Active transition iff the whole row just became zero (the clear above
+    // is a no-op unless `emptied`); same screening as pushImpl.
+    if (after == 0 && emptied && rowOtherWordsZero(node, local)) {
+      deactivate<kAtomicActive>(node);
+    }
+    if (wasFull) creditCrossed<kAtomicActive>(u, true);
     return f;
   }
 
+  // Whole-router active-set transitions (occCount 0 <-> 1). Rare relative to
+  // push/pop traffic, so they stay behind a branch; the active_ word is the
+  // one mask shared across MT domains, hence the atomic flavor.
   template <bool kAtomicActive>
-  void markOccupied(NodeId node, int u) noexcept {
-    const int local = u - base(node);
-    occ_[static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
-         static_cast<std::size_t>(local >> 6)] |= (1ULL << (local & 63));
-    if (occCount_[node]++ == 0) {
-      if constexpr (kAtomicActive) {
-        std::atomic_ref<std::uint64_t>(active_[static_cast<std::size_t>(node) >> 6])
-            .fetch_or(1ULL << (node & 63), std::memory_order_relaxed);
-      } else {
-        active_[static_cast<std::size_t>(node) >> 6] |= (1ULL << (node & 63));
-      }
+  void activate(NodeId node) noexcept {
+    if constexpr (kAtomicActive) {
+      std::atomic_ref<std::uint64_t>(active_[static_cast<std::size_t>(node) >> 6])
+          .fetch_or(1ULL << (node & 63), std::memory_order_relaxed);
+    } else {
+      active_[static_cast<std::size_t>(node) >> 6] |= (1ULL << (node & 63));
     }
   }
   template <bool kAtomicActive>
-  void markEmpty(NodeId node, int u) noexcept {
-    const int local = u - base(node);
-    occ_[static_cast<std::size_t>(node) * static_cast<std::size_t>(occWords_) +
-         static_cast<std::size_t>(local >> 6)] &= ~(1ULL << (local & 63));
-    if (--occCount_[node] == 0) {
-      if constexpr (kAtomicActive) {
-        std::atomic_ref<std::uint64_t>(active_[static_cast<std::size_t>(node) >> 6])
-            .fetch_and(~(1ULL << (node & 63)), std::memory_order_relaxed);
-      } else {
-        active_[static_cast<std::size_t>(node) >> 6] &= ~(1ULL << (node & 63));
-      }
+  void deactivate(NodeId node) noexcept {
+    if constexpr (kAtomicActive) {
+      std::atomic_ref<std::uint64_t>(active_[static_cast<std::size_t>(node) >> 6])
+          .fetch_and(~(1ULL << (node & 63)), std::memory_order_relaxed);
+    } else {
+      active_[static_cast<std::size_t>(node) >> 6] &= ~(1ULL << (node & 63));
     }
   }
 
@@ -328,26 +497,42 @@ class RouterArena {
   int occWords_;     // occupancy words per router
   bool exactArrivals_;
 
-  // Flit rings, struct-of-arrays: slot = (unit << strideLog2) + ringPos.
+  // Flit rings: slot = (unit << strideLog2) + ringPos.
   std::vector<Flit> flit_;
-  std::vector<std::uint64_t> arrival_;   // per-slot stamps (exact mode only)
-  std::vector<std::uint64_t> lastPush_;  // per-unit latest stamp (inexact mode)
-  std::vector<std::uint64_t> frontArrival_;  // stamp of the front flit
-  // uint16, not uint8: unsigned-char arrays alias everything in C++, which
-  // would force the optimiser to reload hot locals around every push/pop.
-  std::vector<std::uint16_t> head_;
-  std::vector<std::uint16_t> size_;  // the credit-check array: full() == one load
+  std::vector<std::uint64_t> arrival_;  // per-slot stamps (exact mode only)
+  // Hot per-unit ring metadata, packed so one cache access serves a whole
+  // push or pop (a flit move reads and writes every field; keeping them in
+  // parallel arrays cost a separate line touch each). 24-byte stride; the
+  // u16s sit after the u64s so the record needs no internal padding. The
+  // credit sink (vcs entries past the real units, see ctor) rides along with
+  // permanently-zero sizes.
+  struct UnitMeta {
+    std::uint64_t frontArrival = 0;  // stamp of the front flit
+    std::uint64_t lastPush = 0;      // latest stamp (inexact mode only)
+    std::uint16_t head = 0;
+    std::uint16_t size = 0;
+    std::uint32_t pad_ = 0;
+  };
+  static_assert(sizeof(UnitMeta) == 24);
+  std::vector<UnitMeta> meta_;
 
   std::vector<std::uint32_t> route_;
-  std::vector<std::uint64_t> routedMask_;  // node x occWords
-  std::vector<std::uint64_t> request_;     // (node x totalPorts) x occWords
+  std::vector<std::uint64_t> routedMask_;   // node x occWords
+  std::vector<std::uint64_t> portMembers_;  // (node x totalPorts) x occWords
+
+  // Incremental qualification state (see class comment / DESIGN.md §8).
+  std::vector<std::uint64_t> fresh_;      // node x occWords
+  std::vector<std::uint64_t> downOk_;     // node x occWords
+  std::vector<std::uint64_t> creditOk_;   // global units + sink row, bit-packed
+  std::vector<std::int32_t> routeDown_;   // per unit: downstream target, -1 free
+  std::vector<std::int64_t> feeder_;      // per unit: upstream (node<<32|local), -1
+  std::vector<std::uint8_t> freshDirty_;  // per router: freshness changed last cycle
 
   std::vector<std::int16_t> outOwner_;
   std::vector<std::uint16_t> freeVc_;  // per (node, port): bit vc = unowned
   std::vector<std::uint16_t> cursor_;
 
   std::vector<std::uint64_t> occ_;
-  std::vector<std::uint16_t> occCount_;
   std::vector<std::uint64_t> active_;
 };
 

@@ -329,9 +329,9 @@ std::unordered_map<MsgId, int> bufferTally(const Network& net, int cycle) {
         for (int i = 0; i < sz; ++i) ++buffered[a.flitAt(g, i).msg];
       }
     }
-    const std::uint16_t* sink = a.sizeRow(a.creditSinkBase());
     for (int vc = 0; vc < a.vcs(); ++vc) {
-      EXPECT_EQ(sink[vc], 0) << "credit sink dirtied, vc " << vc << " cycle " << cycle;
+      EXPECT_EQ(a.size(a.creditSinkBase() + vc), 0)
+          << "credit sink dirtied, vc " << vc << " cycle " << cycle;
     }
   } else {
     for (const RouterState& r : NetworkTestAccess::legacy(net)) {
@@ -420,6 +420,12 @@ TEST(EngineEquivalence, LockstepCountersAndInvariants) {
     ASSERT_EQ(dense.inFlight(), mt.inFlight()) << "cycle " << c;
     ASSERT_NO_FATAL_FAILURE(checkConservation(dense, sparse, c));
     ASSERT_NO_FATAL_FAILURE(checkConservation(dense, mt, c));
+    // Arena-invariant oracle: every cycle, recompute the incremental
+    // qualification bitmaps (fresh/creditOk/downOk/portMembers + feeder
+    // edges) from scratch from scalar state and require exact equality
+    // with the incrementally-maintained masks.
+    ASSERT_EQ(sparse.arena().auditMasks(sparse.now() - 1), "") << "cycle " << c;
+    ASSERT_EQ(mt.arena().auditMasks(mt.now() - 1), "") << "cycle " << c;
     if (c % 25 == 0) {
       ASSERT_EQ(dense.validateInvariants(), "") << "cycle " << c;
       ASSERT_EQ(sparse.validateInvariants(), "") << "cycle " << c;

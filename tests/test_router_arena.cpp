@@ -82,21 +82,86 @@ TEST(RouterArena, RouteAllocationLifecycle) {
   RouterArena a = smallArena();
   const int local = 2 * 4 + 3;  // port 2, vc 3
   const int g = a.unitIndex(1, 2, 3);
+  const int du = a.unitIndex(2, 3, 1);  // downstream unit the route feeds
   EXPECT_FALSE(a.routed(g));
-  a.allocateRoute(1, local, 3, 1);
+  a.allocateRoute(1, local, 3, 1, du);
   EXPECT_TRUE(a.routed(g));
   EXPECT_EQ(a.outPort(g), 3);
   EXPECT_EQ(a.outVc(g), 1);
   EXPECT_FALSE(a.routed(g + 1)) << "neighbouring unit unaffected";
   // The allocation registers the unit as a switch requester of port 3 only.
   EXPECT_TRUE(a.routedWords(1)[0] & (1ULL << local));
-  EXPECT_TRUE(a.requestWords(1, 3)[0] & (1ULL << local));
-  EXPECT_FALSE(a.requestWords(1, 2)[0] & (1ULL << local));
-  EXPECT_FALSE(a.requestWords(2, 3)[0] & (1ULL << local)) << "other router";
+  EXPECT_TRUE(a.portMembers(1, 3)[0] & (1ULL << local));
+  EXPECT_FALSE(a.portMembers(1, 2)[0] & (1ULL << local));
+  EXPECT_FALSE(a.portMembers(2, 3)[0] & (1ULL << local)) << "other router";
+  // The empty downstream has credit, so the unit qualifies on that axis.
+  EXPECT_TRUE(a.downOkWords(1)[0] & (1ULL << local));
   a.releaseRoute(1, local);
   EXPECT_FALSE(a.routed(g));
   EXPECT_EQ(a.routedWords(1)[0], 0u);
-  EXPECT_EQ(a.requestWords(1, 3)[0], 0u);
+  EXPECT_EQ(a.portMembers(1, 3)[0], 0u);
+  EXPECT_EQ(a.downOkWords(1)[0], 0u);
+  EXPECT_EQ(a.auditMasks(0), "");
+}
+
+TEST(RouterArena, CreditMaskTracksDepthCrossings) {
+  RouterArena a = smallArena(2);  // depth 2
+  const int du = a.unitIndex(2, 3, 1);
+  EXPECT_TRUE(a.creditOkBit(du)) << "empty buffers are creditable";
+  a.push(2, du, Flit{1, FlitKind::Header}, 0);
+  EXPECT_TRUE(a.creditOkBit(du)) << "one slot of two still free";
+  a.push(2, du, Flit{1, FlitKind::Body}, 0);
+  EXPECT_FALSE(a.creditOkBit(du)) << "crossed into full";
+  a.pop(2, du, 1);
+  EXPECT_TRUE(a.creditOkBit(du)) << "crossed back out of full";
+  // The credit sink row past the real units is permanently creditable.
+  for (int vc = 0; vc < a.vcs(); ++vc) {
+    EXPECT_TRUE(a.creditOkBit(a.creditSinkBase() + vc));
+  }
+}
+
+TEST(RouterArena, DepthCrossingFlipsFeederDownOkBit) {
+  RouterArena a = smallArena(1);  // depth 1: every push/pop crosses
+  const int local = 0 * 4 + 2;    // upstream unit: port 0, vc 2
+  const int du = a.unitIndex(3, 1, 0);
+  a.allocateRoute(0, local, 1, 0, du);
+  EXPECT_TRUE(a.downOkWords(0)[0] & (1ULL << local));
+  a.push(3, du, Flit{7, FlitKind::Header}, 0);
+  EXPECT_FALSE(a.downOkWords(0)[0] & (1ULL << local))
+      << "downstream full: flip reaches the feeder's row";
+  a.pop(3, du, 1);
+  EXPECT_TRUE(a.downOkWords(0)[0] & (1ULL << local));
+  a.releaseRoute(0, local);
+  EXPECT_EQ(a.auditMasks(0), "");
+}
+
+TEST(RouterArena, FreshnessMaturesAtCycleBoundary) {
+  RouterArena a = smallArena();
+  const int u = a.unitIndex(1, 2, 0);
+  const int local = u - a.base(1);
+  // A front pushed at cycle 5 is not fresh during cycle 5...
+  a.push(1, u, Flit{1, FlitKind::Header}, 5);
+  EXPECT_FALSE(a.freshWords(1)[0] & (1ULL << local));
+  EXPECT_EQ(a.auditMasks(5), "");
+  // ...and matures at the boundary sweep.
+  a.matureFreshness();
+  EXPECT_TRUE(a.freshWords(1)[0] & (1ULL << local));
+  EXPECT_EQ(a.auditMasks(6), "");
+  // Mid-cycle pops leave the fresh row untouched — it is the cycle-start
+  // snapshot, and nothing reads a router's row between its own pops and the
+  // next sweep. The surviving front stays fresh (it arrived at 6 < 7), and
+  // even the pop to empty leaves a stale set bit behind...
+  a.push(1, u, Flit{1, FlitKind::Tail}, 6);
+  a.pop(1, u, 7);
+  EXPECT_TRUE(a.freshWords(1)[0] & (1ULL << local))
+      << "survivor arrived at 6 < 7";
+  a.pop(1, u, 7);
+  EXPECT_TRUE(a.freshWords(1)[0] & (1ULL << local))
+      << "pop must not touch the boundary snapshot";
+  // ...which the sweep reconciles against the (now empty) occupancy word.
+  a.matureFreshness();
+  EXPECT_EQ(a.auditMasks(8), "");
+  EXPECT_EQ(a.freshWords(1)[0], 0u) << "empty router has no fresh fronts";
 }
 
 TEST(RouterArena, OutputOwnershipLifecycle) {
